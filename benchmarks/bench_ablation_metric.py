@@ -1,0 +1,73 @@
+"""Ablation: the reputation metric's scaling function and unit.
+
+The paper motivates arctan scaling ("a modest contribution of a new peer
+significantly affects its reputation, and is not dwarfed in comparison
+with the most active peers").  This ablation compares arctan against a
+clipped-linear alternative on a deployment crawl, and sweeps the arctan
+unit, reporting how well newcomers with modest contributions are
+separated from heavy hitters.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.node import BarterCastConfig
+from repro.core.reputation import MB, ReputationMetric
+from repro.deployment.crawl import MeasurementCrawl
+from repro.deployment.network import DeploymentNetwork, DeploymentParams
+
+
+@pytest.fixture(scope="module")
+def network():
+    return DeploymentNetwork(DeploymentParams(num_peers=600), seed=31)
+
+
+def crawl_with_metric(network, metric):
+    cfg = BarterCastConfig(metric=metric)
+    return MeasurementCrawl(network, bc_config=cfg, seed=31).run()
+
+
+def test_bench_metric_arctan(benchmark, network):
+    result = benchmark.pedantic(
+        crawl_with_metric,
+        args=(network, ReputationMetric(scaling="arctan")),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.messages_logged > 0
+
+
+def test_arctan_separates_modest_contributions(capsys):
+    """A 50 MB newcomer contribution moves arctan reputation visibly,
+    while a linear metric sized for the heavy hitters barely registers it."""
+    arctan = ReputationMetric(scaling="arctan")
+    # Linear ramp sized to cover the heavy hitters (full scale ~ 100 GB).
+    linear = ReputationMetric(scaling="linear", unit_bytes=MB, linear_range=100_000.0)
+    modest = 50 * MB
+    heavy = 50_000 * MB
+    with capsys.disabled():
+        print()
+        print("diff      arctan   linear")
+        for diff in (modest, 10 * modest, heavy):
+            print(f"{diff/MB:7.0f}MB  {arctan.scale(diff):.4f}  {linear.scale(diff):.4f}")
+    assert arctan.scale(modest) > 10 * linear.scale(modest)
+    # ... while both still rank the heavy hitter above the newcomer.
+    assert arctan.scale(heavy) > arctan.scale(modest)
+
+
+def test_unit_sweep_preserves_sign_fractions(network, capsys):
+    """The negative/zero/positive split of the deployment CDF is robust to
+    the unit choice (sign is unit-invariant); only magnitudes move."""
+    fractions = {}
+    for unit in (10 * MB, 100 * MB, 1024 * MB):
+        result = crawl_with_metric(network, ReputationMetric(unit_bytes=unit))
+        fractions[unit] = result.reputation_cdf_fractions(eps=1e-6)
+    with capsys.disabled():
+        print()
+        for unit, f in fractions.items():
+            print(
+                f"unit={unit/MB:6.0f}MB  neg={f['negative']:.3f} "
+                f"zero={f['zero']:.3f} pos={f['positive']:.3f}"
+            )
+    negs = [f["negative"] for f in fractions.values()]
+    assert max(negs) - min(negs) < 0.02

@@ -1,0 +1,69 @@
+"""Ablation: the message-selection windows Nh / Nr.
+
+The paper fixes ``Nh = Nr = 10`` without sweeping them.  This ablation
+runs the deployment crawl with different window sizes and reports how the
+measurement peer's *coverage* (fraction of seen peers with a non-zero
+reputation) and the rank consistency between reputation and ground-truth
+net contribution respond — i.e., how much information the gossip selection
+actually carries.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import spearman_r
+from repro.core.node import BarterCastConfig
+from repro.deployment.crawl import MeasurementCrawl
+from repro.deployment.network import DeploymentNetwork, DeploymentParams
+
+WINDOWS = (2, 5, 10, 20)
+
+
+@pytest.fixture(scope="module")
+def network():
+    return DeploymentNetwork(DeploymentParams(num_peers=800), seed=23)
+
+
+def crawl_with_windows(network, n):
+    cfg = BarterCastConfig(n_highest=n, n_recent=n)
+    return MeasurementCrawl(network, bc_config=cfg, seed=23).run()
+
+
+@pytest.fixture(scope="module")
+def sweep(network):
+    out = {}
+    for n in WINDOWS:
+        result = crawl_with_windows(network, n)
+        reps = np.array([result.reputation[p] for p in result.seen_peers])
+        nets = np.array([result.net_contribution[p] for p in result.seen_peers])
+        nonzero = np.abs(reps) > 1e-6
+        out[n] = {
+            "coverage": float(nonzero.mean()),
+            "consistency": spearman_r(nets[nonzero], reps[nonzero])
+            if nonzero.sum() > 2
+            else float("nan"),
+        }
+    return out
+
+
+def test_bench_selection_paper_windows(benchmark, network):
+    result = benchmark.pedantic(
+        crawl_with_windows, args=(network, 10), rounds=1, iterations=1
+    )
+    assert result.messages_logged > 0
+
+
+def test_selection_coverage_monotone(sweep, capsys):
+    with capsys.disabled():
+        print()
+        print("Nh=Nr  coverage  consistency(nonzero)")
+        for n in WINDOWS:
+            print(f"{n:5d}  {sweep[n]['coverage']:.3f}     {sweep[n]['consistency']:.3f}")
+    # Larger windows carry weakly more information.
+    assert sweep[20]["coverage"] >= sweep[2]["coverage"] - 0.02
+
+
+def test_paper_windows_are_sufficient(sweep):
+    """Nh = Nr = 10 already achieves most of the Nh = Nr = 20 coverage —
+    the paper's choice is on the plateau."""
+    assert sweep[10]["coverage"] >= 0.8 * sweep[20]["coverage"]

@@ -1,0 +1,66 @@
+"""Ablation: whitewashing countermeasures (paper §3.5 / future work).
+
+Compares the three stranger policies under a whitewashing attack:
+permanent identities (the deployed assumption), a static newcomer
+penalty, and the adaptive stranger policy.  Prints the service each group
+obtains and asserts the qualitative trade-off the paper's discussion
+predicts.
+"""
+
+import pytest
+
+from repro.analysis.ascii_plot import render_table
+from repro.experiments.whitewash import WhitewashParams, run_whitewash
+
+PARAMS = WhitewashParams(rounds=150)
+KINDS = ("trusted", "static", "adaptive")
+
+
+@pytest.fixture(scope="module")
+def results():
+    return {kind: run_whitewash(kind, PARAMS, seed=42) for kind in KINDS}
+
+
+def test_bench_whitewash_adaptive(benchmark):
+    result = benchmark.pedantic(
+        run_whitewash, args=("adaptive", PARAMS), kwargs={"seed": 42},
+        rounds=1, iterations=1,
+    )
+    assert result.policy == "adaptive"
+
+
+def test_whitewash_tradeoff(results, capsys):
+    rows = [
+        (
+            kind,
+            results[kind].service["newcomer"],
+            results[kind].service["washer"],
+            results[kind].washer_advantage,
+            results[kind].identities_burned,
+            results[kind].prior_trajectory[-1],
+        )
+        for kind in KINDS
+    ]
+    with capsys.disabled():
+        print()
+        print(
+            render_table(
+                [
+                    "stranger policy",
+                    "newcomer units",
+                    "washer units",
+                    "washer/newcomer",
+                    "ids burned",
+                    "final prior",
+                ],
+                rows,
+                "{:.2f}",
+            )
+        )
+    # Permanent identities: whitewashing is essentially free.
+    assert results["trusted"].washer_advantage > 0.5
+    # Adaptive policy: whitewashers suppressed well below the trusted case.
+    assert results["adaptive"].washer_advantage < 0.5 * results["trusted"].washer_advantage
+    # Honest newcomers keep most of their service under every policy.
+    for kind in KINDS:
+        assert results[kind].service["newcomer"] > 0.5 * results["trusted"].service["newcomer"]

@@ -1,0 +1,79 @@
+"""Micro-benchmarks of the simulation substrate.
+
+Event-queue throughput and gossip-round cost bound how far the community
+simulator scales (the paper's future work targets 100,000 peers; these
+numbers say what that costs on this kernel).
+"""
+
+import pytest
+
+from repro.core.node import BarterCastNode
+from repro.core.reputation import MB
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+
+
+def test_bench_event_queue_throughput(benchmark):
+    """Schedule+fire cycles per second on a busy queue."""
+
+    def run():
+        sim = Simulator()
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+            if count < 10_000:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(1.0, tick)
+        sim.run()
+        return count
+
+    assert benchmark(run) == 10_000
+
+
+def test_bench_message_exchange(benchmark):
+    """Full gossip exchange (create + ingest both ways) between two mature
+    nodes with busy histories."""
+    rng = RngRegistry(5).stream("bench")
+    a = BarterCastNode("a")
+    b = BarterCastNode("b")
+    for i in range(200):
+        a.record_download(f"p{i}", rng.uniform(1, 500) * MB, now=float(i))
+        b.record_upload(f"q{i}", rng.uniform(1, 500) * MB, now=float(i))
+
+    def exchange():
+        msg_a = a.create_message(now=1000.0)
+        msg_b = b.create_message(now=1000.0)
+        applied = b.receive_message(msg_a) + a.receive_message(msg_b)
+        return applied
+
+    benchmark(exchange)
+
+
+def test_bench_reputation_query_cached(benchmark):
+    """Repeated reputation queries hit the per-version cache."""
+    node = BarterCastNode("me")
+    for i in range(100):
+        node.record_download(f"p{i}", 100 * MB, now=float(i))
+
+    def query():
+        return node.reputation_of("p50")
+
+    benchmark(query)
+
+
+def test_bench_reputation_query_cold(benchmark):
+    """Worst case: the graph changes between queries (cache miss)."""
+    node = BarterCastNode("me")
+    for i in range(100):
+        node.record_download(f"p{i}", 100 * MB, now=float(i))
+    counter = [0]
+
+    def query():
+        counter[0] += 1
+        node.record_download("p0", 1.0, now=1e6 + counter[0])  # invalidate
+        return node.reputation_of("p50")
+
+    benchmark(query)

@@ -1,0 +1,52 @@
+"""Figure 1: contribution versus reputation.
+
+Regenerates both panels and checks the paper's qualitative claims:
+
+* 1(a) — the average system reputation of sharers and freeriders diverges,
+  sharers above freeriders;
+* 1(b) — a peer's system reputation is consistent with its real net
+  contribution (strong positive rank correlation).
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_fig1
+from repro.experiments.report import report_fig1
+
+
+@pytest.fixture(scope="module")
+def fig1_result(scenario):
+    return run_fig1(scenario)
+
+
+def test_fig1a(benchmark, scenario, capsys):
+    """Panel (a): reputation divergence of sharers vs freeriders."""
+    result = benchmark.pedantic(run_fig1, args=(scenario,), rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(report_fig1(result))
+    # Sharers end above freeriders (paper: curves diverge quickly).
+    assert result.final_separation > 0.0
+    # Freeriders end negative, sharers non-negative on average.
+    assert result.freerider_reputation[-1] < result.sharer_reputation[-1]
+
+
+def test_fig1b(fig1_result):
+    """Panel (b): reputation vs net contribution is consistent."""
+    # Monotone consistency: the paper's scatter shows a clear monotone
+    # relationship; Spearman rank correlation captures it.
+    assert fig1_result.spearman > 0.6
+    # The relationship has the right sign everywhere that matters: the
+    # most negative contributors must not out-rank the most positive.
+    order = np.argsort(fig1_result.net_contribution_gb)
+    bottom = fig1_result.system_reputation[order[: max(1, len(order) // 4)]]
+    top = fig1_result.system_reputation[order[-max(1, len(order) // 4):]]
+    assert bottom.mean() < top.mean()
+
+
+def test_fig1a_divergence_is_early(fig1_result):
+    """The paper: 'the reputations quickly diverge'. By mid-run the groups
+    must already be ordered."""
+    mid = len(fig1_result.times_days) // 2
+    assert fig1_result.sharer_reputation[mid] > fig1_result.freerider_reputation[mid]

@@ -1,0 +1,57 @@
+"""Figure 4: one month of (synthetic) Tribler deployment.
+
+Regenerates both panels and checks the paper's observations:
+
+* 4(a) — a majority of seen peers downloaded more than they uploaded, a
+  cluster sits at exactly zero (fresh installs), and a few altruists
+  contributed tens of gigabytes;
+* 4(b) — the reputation CDF at the measurement peer has roughly 40 %
+  negative, ~10 % positive, and a large mass at ≈ 0.
+"""
+
+import numpy as np
+import pytest
+
+from repro.deployment.network import DeploymentParams
+from repro.experiments import run_fig4
+from repro.experiments.report import report_fig4
+
+GB = 1024.0**3
+
+PARAMS = DeploymentParams(num_peers=2000)
+
+
+@pytest.fixture(scope="module")
+def fig4_result():
+    return run_fig4(PARAMS, seed=42)
+
+
+def test_fig4a(benchmark, fig4_result, capsys):
+    result = benchmark.pedantic(
+        run_fig4, args=(PARAMS,), kwargs={"seed": 42}, rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print()
+        print(report_fig4(fig4_result))
+    net = result.net_contribution
+    # Majority net-negative.
+    assert (net < 0).mean() > 0.5
+    # A visible cluster at exactly zero (fresh installs).
+    assert (net == 0).mean() > 0.05
+    # Altruists with tens of GB.
+    assert result.max_altruist_gb > 10.0
+
+
+def test_fig4b(fig4_result):
+    f = fig4_result.fractions
+    # Paper: ~40 % negative / ~50 % zero / ~10 % positive.
+    assert 0.25 < f["negative"] < 0.55
+    assert 0.35 < f["zero"] < 0.70
+    assert 0.03 < f["positive"] < 0.20
+    # CDF is a valid distribution function.
+    assert fig4_result.reputation_cdf[-1] == pytest.approx(1.0)
+    assert (np.diff(fig4_result.reputation_cdf) >= 0).all()
+
+
+def test_fig4b_more_negative_than_positive(fig4_result):
+    assert fig4_result.fractions["negative"] > 2 * fig4_result.fractions["positive"]

@@ -1,0 +1,58 @@
+"""Future-work scalability: BarterCast state at up to 100,000 peers.
+
+Measures reputation-query and gossip-ingestion cost as the subjective
+view grows, and asserts the property that makes the mechanism
+"lightweight and practically feasible": query latency is bounded by peer
+degree, not view size.
+"""
+
+import pytest
+
+from repro.analysis.ascii_plot import render_table
+from repro.experiments.scalability import run_scalability
+
+SIZES = (1_000, 10_000, 50_000, 100_000)
+
+
+@pytest.fixture(scope="module")
+def scaling():
+    return run_scalability(sizes=SIZES, seed=42)
+
+
+def test_bench_scalability_sweep(benchmark):
+    result = benchmark.pedantic(
+        run_scalability,
+        kwargs={"sizes": (1_000, 10_000), "queries": 100, "seed": 42},
+        rounds=1,
+        iterations=1,
+    )
+    assert len(result.points) == 2
+
+
+def test_scalability_curve(scaling, capsys):
+    rows = [
+        (p.num_peers, p.num_edges, p.query_us, p.ingest_us)
+        for p in scaling.points
+    ]
+    with capsys.disabled():
+        print()
+        print(
+            render_table(
+                ["known peers", "edges", "query us", "ingest us/record"],
+                rows,
+                "{:.1f}",
+            )
+        )
+    # 100k peers ingested and queryable.
+    assert scaling.points[-1].num_peers == 100_000
+    assert scaling.points[-1].num_edges > 100_000
+
+
+def test_query_cost_is_degree_bounded(scaling):
+    """100x more peers must not cost anywhere near 100x per query —
+    the 2-hop closed form scans endpoint neighbourhoods only."""
+    assert scaling.query_growth_factor() < 20.0
+
+
+def test_queries_stay_sub_millisecond(scaling):
+    assert scaling.points[-1].query_us < 1000.0

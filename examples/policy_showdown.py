@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Policy showdown: plain BitTorrent vs rank vs ban on one community.
+
+Runs the same trace-driven community (identical trace, identical
+sharer/freerider split, identical seeds) under three policies and prints
+the speed each group achieved — the experiment behind Figure 2 of the
+paper, in miniature.
+
+Run:  python examples/policy_showdown.py [--profile fast|paper] [--seed N]
+
+The fast profile takes a minute or two; the tiny profile is instant but
+has too little contention for the policies to differentiate.
+"""
+
+import argparse
+
+from repro.analysis.ascii_plot import render_table
+from repro.core.policies import BanPolicy, NoPolicy, RankPolicy
+from repro.experiments import ScenarioConfig, build_simulation
+
+KB = 1024.0
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", default="fast", choices=("tiny", "fast", "paper"))
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    scenario = ScenarioConfig.named(args.profile, seed=args.seed)
+    policies = [NoPolicy(), RankPolicy(), BanPolicy(-0.5)]
+
+    rows = []
+    for policy in policies:
+        sim = build_simulation(scenario, policy=policy)
+        stats = sim.run()
+        sharer = stats.group_mean_speed(sim.roles.sharers) / KB
+        freerider = stats.group_mean_speed(sim.roles.freeriders) / KB
+        rows.append(
+            (
+                policy.name,
+                sharer,
+                freerider,
+                freerider / sharer if sharer > 0 else float("nan"),
+            )
+        )
+
+    print(f"profile={scenario.name} seed={scenario.seed} "
+          f"({scenario.trace_params.num_peers} peers, "
+          f"{scenario.trace_params.num_swarms} swarms, "
+          f"{scenario.trace_params.duration / 86400:.0f} days)\n")
+    print(
+        render_table(
+            ["policy", "sharer KBps", "freerider KBps", "freerider/sharer"],
+            rows,
+            "{:.1f}",
+        )
+    )
+    print(
+        "\nThe ban policy gives freeriders the strongest disincentive\n"
+        "(lowest freerider/sharer ratio); the paper reports the same\n"
+        "ordering at full scale, where sharers overtake by day ~3\n"
+        "(Figure 2; see EXPERIMENTS.md for the full-week numbers)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Quickstart: BarterCast in 60 lines.
+
+Three peers exchange data; gossip spreads the word; reputations follow.
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import BarterCastNode, MB
+
+
+def main() -> None:
+    # Three peers. Alice seeds generously, Bob downloads and relays,
+    # Carol is a stranger who only hears about the others through gossip.
+    alice = BarterCastNode("alice")
+    bob = BarterCastNode("bob")
+    carol = BarterCastNode("carol")
+
+    # Alice uploads 400 MB to Bob; both sides account the transfer in
+    # their tamper-proof private histories.
+    alice.record_upload("bob", 400 * MB, now=100.0)
+    bob.record_download("alice", 400 * MB, now=100.0)
+
+    # Bob relays 150 MB of it onward to Carol.
+    bob.record_upload("carol", 150 * MB, now=200.0)
+    carol.record_download("bob", 150 * MB, now=200.0)
+
+    # Direct experience: Bob rates Alice positively, Alice rates Bob
+    # negatively (Bob consumed and has not yet reciprocated).
+    print("Direct experience")
+    print(f"  R_bob(alice)  = {bob.reputation_of('alice'):+.3f}  (alice served bob)")
+    print(f"  R_alice(bob)  = {alice.reputation_of('bob'):+.3f}  (bob consumed)")
+
+    # Gossip: Bob sends Carol a BarterCast message — a selection of his
+    # private history (his top uploaders and most recent contacts).
+    message = bob.create_message(now=300.0)
+    applied = carol.receive_message(message)
+    print(f"\nCarol ingested {applied} record(s) from bob's message")
+
+    # Carol has never met Alice, but now knows alice->bob->carol: a 2-hop
+    # path whose maxflow is bounded by what Carol actually received from
+    # Bob — hearsay can never outrank direct experience.
+    print("\nAfter gossip")
+    print(f"  R_carol(alice) = {carol.reputation_of('alice'):+.3f}  (2-hop credit, capped)")
+    print(f"  R_carol(bob)   = {carol.reputation_of('bob'):+.3f}  (direct)")
+
+    # The cap in action: even if Alice had uploaded a petabyte to Bob,
+    # Carol's opinion of Alice cannot exceed her 150 MB of real service
+    # from Bob (the maxflow bottleneck).
+    alice2 = BarterCastNode("alice")  # fresh view of the same story
+    bob.record_download("alice", 10_000_000 * MB, now=400.0)  # absurd claim path
+    carol2 = BarterCastNode("carol2")
+    carol2.record_download("bob", 150 * MB, now=200.0)
+    carol2.receive_message(bob.create_message(now=500.0))
+    print("\nMaxflow bound (paper's key security property)")
+    print(f"  R_carol2(alice) = {carol2.reputation_of('alice'):+.3f}  "
+          "(still capped by 150 MB of direct service)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Whitewashing defenses: the paper's §3.5 trade-off, measured.
+
+A population of honest newcomers and identity-cycling whitewashers
+requests service from BarterCast-running sharers under three stranger
+policies.  Shows why the deployed system leans on permanent identities,
+and what the (static / adaptive) newcomer-penalty alternatives cost.
+
+Run:  python examples/whitewash_defense.py
+"""
+
+from repro.analysis.ascii_plot import ascii_chart, render_table
+from repro.experiments import WhitewashParams, run_whitewash
+
+
+def main() -> None:
+    params = WhitewashParams(rounds=150)
+    kinds = ("trusted", "static", "adaptive")
+    results = {kind: run_whitewash(kind, params, seed=42) for kind in kinds}
+
+    rows = [
+        (
+            kind,
+            results[kind].service["newcomer"],
+            results[kind].service["washer"],
+            results[kind].washer_advantage,
+            results[kind].identities_burned,
+        )
+        for kind in kinds
+    ]
+    print(
+        render_table(
+            ["stranger policy", "newcomer units", "washer units",
+             "washer/newcomer", "identities burned"],
+            rows,
+            "{:.1f}",
+        )
+    )
+
+    print("\nAdaptive stranger prior over time (sinks as burned identities")
+    print("teach the community what strangers have been worth):\n")
+    print(ascii_chart({"prior": results["adaptive"].prior_trajectory}))
+
+    print(
+        "\nReading: with permanent identities (trusted) whitewashing is free;\n"
+        "a static penalty below the ban threshold locks washers out but makes\n"
+        "every honest newcomer pre-pay; the adaptive policy converges to the\n"
+        "same lockout while charging honest newcomers only during attacks."
+    )
+
+
+if __name__ == "__main__":
+    main()

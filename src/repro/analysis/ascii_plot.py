@@ -1,0 +1,99 @@
+"""Terminal rendering of experiment output.
+
+The benchmark harness prints, for every figure, the same series the paper
+plots — as aligned tables and compact ASCII charts, so a run's output can
+be compared against the paper by eye and archived in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+__all__ = ["render_table", "ascii_chart"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render an aligned plain-text table.
+
+    Floats are formatted with ``float_fmt``; NaNs print as ``-``.
+    """
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            if math.isnan(cell):
+                return "-"
+            return float_fmt.format(cell)
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def ascii_chart(
+    series: Dict[str, Sequence[float]],
+    width: int = 64,
+    height: int = 12,
+    y_label: str = "",
+) -> str:
+    """A compact multi-series ASCII line chart.
+
+    Each series gets a marker character; x positions are the sample
+    indices rescaled to ``width``.  NaNs are skipped.
+    """
+    markers = "*o+x#@%&"
+    all_vals = [
+        v
+        for vals in series.values()
+        for v in vals
+        if v == v and not math.isinf(v)  # drop NaN/inf
+    ]
+    if not all_vals:
+        return "(no data)"
+    lo, hi = min(all_vals), max(all_vals)
+    if hi == lo:
+        hi = lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for s_idx, (name, vals) in enumerate(series.items()):
+        marker = markers[s_idx % len(markers)]
+        vals = list(vals)
+        n = len(vals)
+        if n == 0:
+            continue
+        for i, v in enumerate(vals):
+            if v != v or math.isinf(v):
+                continue
+            x = int(i * (width - 1) / max(1, n - 1))
+            y = int((v - lo) / (hi - lo) * (height - 1))
+            grid[height - 1 - y][x] = marker
+    lines = []
+    top_label = f"{hi:.3g}"
+    bottom_label = f"{lo:.3g}"
+    pad = max(len(top_label), len(bottom_label))
+    for r, row in enumerate(grid):
+        prefix = top_label.rjust(pad) if r == 0 else (
+            bottom_label.rjust(pad) if r == height - 1 else " " * pad
+        )
+        lines.append(f"{prefix} |{''.join(row)}")
+    legend = "   ".join(
+        f"{markers[i % len(markers)]} {name}" for i, name in enumerate(series)
+    )
+    if y_label:
+        lines.insert(0, y_label)
+    lines.append(" " * pad + " +" + "-" * width)
+    lines.append(" " * pad + "  " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,134 @@
+"""Export experiment series to plottable files.
+
+The CLI renders figures as ASCII; for publication-quality plots users can
+export the same series as TSV (gnuplot-style, the paper's own plotting
+toolchain) or CSV and plot them with any tool.  Each figure result class
+gets one ``export_*`` helper producing a dict of ``filename -> rows`` and
+a writer that puts them on disk with a commented header.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Sequence, Union
+
+import numpy as np
+
+from repro.experiments.fig1 import Fig1Result
+from repro.experiments.fig2 import Fig2Result
+from repro.experiments.fig3 import Fig3Result
+from repro.experiments.fig4 import Fig4Result
+
+__all__ = [
+    "export_fig1",
+    "export_fig2",
+    "export_fig3",
+    "export_fig4",
+    "write_series",
+]
+
+Rows = List[Sequence[float]]
+
+
+def _table(header: Sequence[str], columns: Sequence[np.ndarray]) -> dict:
+    rows = [list(row) for row in zip(*columns)]
+    return {"header": list(header), "rows": rows}
+
+
+def export_fig1(result: Fig1Result) -> Dict[str, dict]:
+    """Series for both panels of Figure 1."""
+    return {
+        "fig1a_reputation_over_time": _table(
+            ["day", "sharers", "freeriders"],
+            [result.times_days, result.sharer_reputation, result.freerider_reputation],
+        ),
+        "fig1b_contribution_vs_reputation": _table(
+            ["net_contribution_gb", "system_reputation"],
+            [result.net_contribution_gb, result.system_reputation],
+        ),
+    }
+
+
+def export_fig2(result: Fig2Result) -> Dict[str, dict]:
+    """Series for the three panels of Figure 2."""
+    out = {
+        "fig2a_rank_policy": _table(
+            ["day", "sharers_kbps", "freeriders_kbps"],
+            [result.days, result.rank["sharers"], result.rank["freeriders"]],
+        ),
+        "fig2b_ban_policy": _table(
+            ["day", "sharers_kbps", "freeriders_kbps"],
+            [result.days, result.ban["sharers"], result.ban["freeriders"]],
+        ),
+    }
+    deltas = sorted(result.delta_sweep)
+    out["fig2c_delta_sweep"] = _table(
+        ["day"] + [f"freeriders_kbps_delta_{d}" for d in deltas],
+        [result.days] + [result.delta_sweep[d] for d in deltas],
+    )
+    return out
+
+
+def export_fig3(result: Fig3Result) -> Dict[str, dict]:
+    """Series for one Figure 3 panel."""
+    key = "fig3a_ignore" if result.kind == "ignore" else "fig3b_lie"
+    return {
+        key: _table(
+            ["percent_disobeying", "sharers_kbps", "freeriders_kbps"],
+            [result.percentages, result.sharer_speed_kbps, result.freerider_speed_kbps],
+        )
+    }
+
+
+def export_fig4(result: Fig4Result) -> Dict[str, dict]:
+    """Series for both panels of Figure 4."""
+    order = np.argsort(result.net_contribution)
+    return {
+        "fig4a_net_contribution": _table(
+            ["rank", "upload_minus_download_bytes"],
+            [np.arange(result.peers_seen, dtype=float), result.net_contribution[order]],
+        ),
+        "fig4b_reputation_cdf": _table(
+            ["reputation", "cdf"],
+            [result.reputation_values, result.reputation_cdf],
+        ),
+    }
+
+
+def write_series(
+    tables: Dict[str, dict],
+    directory: Union[str, Path],
+    fmt: str = "tsv",
+) -> List[Path]:
+    """Write exported tables to ``directory`` as ``.tsv`` or ``.csv``.
+
+    Returns the written paths.  TSV files carry a ``#``-commented header
+    line (gnuplot-friendly); CSV files use a plain header row.
+    """
+    if fmt not in ("tsv", "csv"):
+        raise ValueError(f"unsupported format {fmt!r}")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    for name, table in tables.items():
+        path = directory / f"{name}.{fmt}"
+        if fmt == "tsv":
+            with path.open("w") as fh:
+                fh.write("# " + "\t".join(table["header"]) + "\n")
+                for row in table["rows"]:
+                    fh.write("\t".join(_fmt(v) for v in row) + "\n")
+        else:
+            with path.open("w", newline="") as fh:
+                writer = csv.writer(fh)
+                writer.writerow(table["header"])
+                for row in table["rows"]:
+                    writer.writerow([_fmt(v) for v in row])
+        written.append(path)
+    return written
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, float) and value != value:  # NaN
+        return "nan"
+    return repr(float(value))

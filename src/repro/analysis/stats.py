@@ -1,0 +1,77 @@
+"""Statistical helpers: CDFs, correlations, summaries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+from scipy import stats as sps
+
+__all__ = ["cdf", "pearson_r", "spearman_r", "summarize", "Summary"]
+
+
+def cdf(values: Sequence[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF: returns ``(sorted_values, cumulative_fraction)``.
+
+    The fraction at index k is ``(k + 1) / n`` — the fraction of samples
+    less than or equal to ``sorted_values[k]``.
+    """
+    arr = np.sort(np.asarray(values, dtype=float))
+    if arr.size == 0:
+        return arr, arr
+    frac = np.arange(1, arr.size + 1) / arr.size
+    return arr, frac
+
+
+def pearson_r(x: Sequence[float], y: Sequence[float]) -> float:
+    """Pearson correlation coefficient (NaN for degenerate inputs)."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.size < 2 or np.std(x) == 0 or np.std(y) == 0:
+        return float("nan")
+    return float(np.corrcoef(x, y)[0, 1])
+
+
+def spearman_r(x: Sequence[float], y: Sequence[float]) -> float:
+    """Spearman rank correlation (NaN for degenerate inputs).
+
+    The natural consistency measure for Figure 1(b): the paper's claim is
+    that reputation *orders* peers like net contribution does, not that
+    the relationship is linear (arctan is deliberately nonlinear).
+    """
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.size < 2 or np.std(x) == 0 or np.std(y) == 0:
+        return float("nan")
+    rho, _ = sps.spearmanr(x, y)
+    return float(rho)
+
+
+@dataclass
+class Summary:
+    """Five-number-style summary of a sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    maximum: float
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Compute a :class:`Summary` (NaNs are dropped)."""
+    arr = np.asarray(values, dtype=float)
+    arr = arr[~np.isnan(arr)]
+    if arr.size == 0:
+        nan = float("nan")
+        return Summary(0, nan, nan, nan, nan, nan)
+    return Summary(
+        n=int(arr.size),
+        mean=float(arr.mean()),
+        std=float(arr.std()),
+        minimum=float(arr.min()),
+        median=float(np.median(arr)),
+        maximum=float(arr.max()),
+    )

@@ -1,0 +1,38 @@
+"""Piece-level BitTorrent simulator.
+
+Follows the protocol at the level the paper's simulator does: leecher and
+seeder unchoking, the 30-second round-robin optimistic unchoke, rarest-
+first piece picking, and per-peer uplink/downlink capacity shared across
+swarms.  Time advances in fixed *rounds* (default 10 s, the choke
+interval); within a round each unchoked connection receives an equal share
+of the uploader's uplink, receiver downlinks cap the total, and the
+transferred bytes complete whole pieces chosen rarest-first.
+
+The simulator plugs into BarterCast at three seams:
+
+* every transferred byte is accounted in both endpoints' private
+  histories;
+* a gossip process lets online peers exchange BarterCast messages through
+  the peer-sampling service;
+* the choker consults a :class:`~repro.core.policies.ReputationPolicy`
+  for slot eligibility (ban) and optimistic ordering (rank).
+"""
+
+from repro.bittorrent.config import BitTorrentConfig
+from repro.bittorrent.piece import Bitfield, pick_rarest
+from repro.bittorrent.roles import Role, RoleAssignment
+from repro.bittorrent.swarm import MemberState, SwarmState
+from repro.bittorrent.stats import StatsCollector
+from repro.bittorrent.simulator import CommunitySimulator
+
+__all__ = [
+    "BitTorrentConfig",
+    "Bitfield",
+    "pick_rarest",
+    "Role",
+    "RoleAssignment",
+    "MemberState",
+    "SwarmState",
+    "StatsCollector",
+    "CommunitySimulator",
+]

@@ -1,0 +1,104 @@
+"""Choking: tit-for-tat slot assignment plus the optimistic unchoke.
+
+Standard BitTorrent semantics (Section 4.1 of the paper):
+
+* a **leecher** assigns its regular slots to the interested peers that
+  provided it the highest download rate in the last round (tit-for-tat);
+* a **seeder** assigns its regular slots to the peers with the highest
+  download rate *from it* (serve the fastest downloaders);
+* one extra **optimistic unchoke** slot rotates every 30 seconds over the
+  interested peers — in plain BitTorrent uniformly, under the *rank*
+  policy in order of BarterCast reputation;
+* under the *ban* policy, peers whose reputation is below δ receive no
+  slot of any kind.
+
+Interest is approximated by the cheap test "the candidate is an online,
+connectable leecher and I hold at least one piece" (exact piece-mask
+interest is evaluated on the transfer path, where a wasted slot simply
+carries zero bytes — the standard flow-level simplification).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Set
+
+from repro.bittorrent.config import BitTorrentConfig
+from repro.bittorrent.swarm import MemberState, SwarmState
+from repro.core.node import BarterCastNode
+from repro.core.policies import ReputationPolicy
+from repro.sim.rng import RngStream
+
+__all__ = ["select_unchokes", "interested_candidates"]
+
+
+def interested_candidates(
+    swarm: SwarmState,
+    uploader: MemberState,
+    is_online: Callable[[int], bool],
+    can_connect: Callable[[int, int], bool],
+) -> List[int]:
+    """Peers that could accept data from ``uploader`` this round."""
+    if uploader.bitfield.num_have == 0:
+        return []
+    out: List[int] = []
+    for pid, member in swarm.members.items():
+        if pid == uploader.peer_id or not member.is_leecher:
+            continue
+        if not is_online(pid):
+            continue
+        if not can_connect(uploader.peer_id, pid):
+            continue
+        out.append(pid)
+    return out
+
+
+def select_unchokes(
+    swarm: SwarmState,
+    uploader: MemberState,
+    *,
+    policy: ReputationPolicy,
+    node: Optional[BarterCastNode],
+    rng: RngStream,
+    round_idx: int,
+    config: BitTorrentConfig,
+    is_online: Callable[[int], bool],
+    can_connect: Callable[[int, int], bool],
+) -> Set[int]:
+    """The set of peers ``uploader`` sends data to this round.
+
+    Combines the tit-for-tat regular slots with the (policy-ordered)
+    optimistic slot; banned peers are excluded everywhere.
+    """
+    candidates = interested_candidates(swarm, uploader, is_online, can_connect)
+    if not candidates:
+        uploader.optimistic_peer = None
+        return set()
+    allowed = [c for c in candidates if policy.allows(node, c)]
+
+    # --- regular slots: tit-for-tat ranking --------------------------------
+    if uploader.is_seeder:
+        key = uploader.sent_last_round
+    else:
+        key = uploader.received_last_round
+    ranked = rng.shuffled(allowed)  # random tie-break
+    ranked.sort(key=lambda pid: -key.get(pid, 0.0))
+    regular = set(ranked[: config.regular_slots])
+
+    # --- optimistic slot ----------------------------------------------------
+    rotation_due = (
+        round_idx - uploader.optimistic_chosen_round >= config.optimistic_every_rounds
+    )
+    current = uploader.optimistic_peer
+    current_valid = (
+        current is not None
+        and current in allowed
+        and current not in regular
+    )
+    if rotation_due or not current_valid:
+        remaining = [c for c in allowed if c not in regular]
+        ordered = policy.order_optimistic(node, remaining, rng)
+        uploader.optimistic_peer = ordered[0] if ordered else None
+        uploader.optimistic_chosen_round = round_idx
+    if uploader.optimistic_peer is not None:
+        regular.add(uploader.optimistic_peer)
+    return regular

@@ -1,0 +1,74 @@
+"""Simulator configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["BitTorrentConfig"]
+
+HOUR = 3600.0
+
+
+@dataclass
+class BitTorrentConfig:
+    """Protocol and engine parameters of the BitTorrent simulator.
+
+    Attributes
+    ----------
+    round_interval:
+        Seconds per simulation round; also the rechoke interval (standard
+        BitTorrent rechokes every 10 s).
+    regular_slots:
+        Tit-for-tat upload slots per peer per swarm (paper: 4–7 total
+        slots depending on implementation; we default to 3 regular + 1
+        optimistic = 4).
+    optimistic_interval:
+        Seconds between optimistic-unchoke rotations (standard: 30 s).
+    gossip_interval:
+        Seconds between a peer's BarterCast exchanges (Tribler's BuddyCast
+        connects to a new peer roughly every 15 s; 60 s keeps simulation
+        cost down and is ablated).
+    seed_time:
+        How long a *sharer* seeds a completed file (paper: 10 hours).
+    pss_view_size:
+        Partial-view bound of the BuddyCast peer sampler.
+    sample_interval:
+        Seconds between statistics samples (reputation snapshots, speed
+        buckets).
+    gossip_loss:
+        Probability that a BarterCast message is lost in transit
+        (failure injection: UDP loss, churn mid-exchange).  The protocol
+        must degrade gracefully — records are totals, so later messages
+        resynchronize the view.
+    """
+
+    round_interval: float = 10.0
+    regular_slots: int = 3
+    optimistic_interval: float = 30.0
+    gossip_interval: float = 60.0
+    seed_time: float = 10 * HOUR
+    pss_view_size: int = 30
+    sample_interval: float = 6 * HOUR
+    gossip_loss: float = 0.0
+
+    def validate(self) -> None:
+        """Check parameter sanity; raises ``ValueError``."""
+        if self.round_interval <= 0:
+            raise ValueError("round_interval must be positive")
+        if self.regular_slots < 0:
+            raise ValueError("regular_slots must be non-negative")
+        if self.optimistic_interval < self.round_interval:
+            raise ValueError("optimistic_interval must be >= round_interval")
+        if self.gossip_interval <= 0:
+            raise ValueError("gossip_interval must be positive")
+        if self.seed_time < 0:
+            raise ValueError("seed_time must be non-negative")
+        if self.sample_interval <= 0:
+            raise ValueError("sample_interval must be positive")
+        if not 0.0 <= self.gossip_loss < 1.0:
+            raise ValueError("gossip_loss must be in [0, 1)")
+
+    @property
+    def optimistic_every_rounds(self) -> int:
+        """Optimistic rotation period in rounds (>= 1)."""
+        return max(1, int(round(self.optimistic_interval / self.round_interval)))

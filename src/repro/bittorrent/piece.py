@@ -1,0 +1,138 @@
+"""Bitfields and rarest-first piece selection.
+
+Bitfields are NumPy boolean arrays — piece membership tests, candidate
+masks (``uploader.have & ~receiver.have``), and availability updates are
+all vectorized, which keeps the per-round cost of the simulator linear in
+the number of *active connections*, not in peers × pieces.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+__all__ = ["Bitfield", "pick_rarest"]
+
+
+class Bitfield:
+    """Piece possession of one peer in one swarm.
+
+    Parameters
+    ----------
+    num_pieces:
+        Swarm piece count.
+    complete:
+        Start with all pieces (seeders).
+    """
+
+    __slots__ = ("have", "_num_have")
+
+    def __init__(self, num_pieces: int, complete: bool = False) -> None:
+        if num_pieces < 1:
+            raise ValueError("num_pieces must be >= 1")
+        self.have = np.full(num_pieces, complete, dtype=bool)
+        self._num_have = num_pieces if complete else 0
+
+    @property
+    def num_pieces(self) -> int:
+        """Total pieces in the swarm."""
+        return int(self.have.shape[0])
+
+    @property
+    def num_have(self) -> int:
+        """Pieces currently held."""
+        return self._num_have
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether every piece is held."""
+        return self._num_have == self.have.shape[0]
+
+    @property
+    def fraction(self) -> float:
+        """Completed fraction in [0, 1]."""
+        return self._num_have / self.have.shape[0]
+
+    def add(self, piece: int) -> bool:
+        """Mark ``piece`` as held; returns True if it was new."""
+        if self.have[piece]:
+            return False
+        self.have[piece] = True
+        self._num_have += 1
+        return True
+
+    def add_many(self, pieces: np.ndarray) -> int:
+        """Mark several pieces; returns how many were new."""
+        if len(pieces) == 0:
+            return 0
+        new = ~self.have[pieces]
+        count = int(new.sum())
+        if count:
+            self.have[pieces[new]] = True
+            self._num_have += count
+        return count
+
+    def missing_mask(self) -> np.ndarray:
+        """Boolean mask of pieces not yet held (a fresh array)."""
+        return ~self.have
+
+    def wants_from(self, other: "Bitfield") -> bool:
+        """Whether ``other`` holds at least one piece this bitfield lacks."""
+        if self.is_complete:
+            return False
+        if other._num_have == 0:
+            return False
+        if other.is_complete:
+            return True
+        return bool(np.any(other.have & ~self.have))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Bitfield {self._num_have}/{self.have.shape[0]}>"
+
+
+def pick_rarest(
+    availability: np.ndarray,
+    uploader_have: Optional[np.ndarray],
+    receiver_have: np.ndarray,
+    in_flight: np.ndarray,
+    k: int,
+) -> np.ndarray:
+    """Select up to ``k`` rarest pieces the receiver can get from the uploader.
+
+    Parameters
+    ----------
+    availability:
+        Integer per-piece copy counts in the swarm (the rarest-first key).
+    uploader_have:
+        The uploader's possession mask, or ``None`` for a seeder (has all).
+    receiver_have:
+        The receiver's possession mask.
+    in_flight:
+        Mask of pieces the receiver is already fetching this round from
+        another connection (avoids duplicate downloads).
+    k:
+        Maximum number of pieces to select.
+
+    Returns
+    -------
+    numpy.ndarray
+        Indices of the selected pieces, rarest first; may be shorter than
+        ``k`` if fewer candidates exist.
+    """
+    if k <= 0:
+        return np.empty(0, dtype=np.int64)
+    candidates = ~(receiver_have | in_flight)
+    if uploader_have is not None:
+        candidates &= uploader_have
+    idx = np.flatnonzero(candidates)
+    if idx.size == 0:
+        return idx
+    if idx.size <= k:
+        order = np.argsort(availability[idx], kind="stable")
+        return idx[order]
+    counts = availability[idx]
+    part = np.argpartition(counts, k - 1)[:k]
+    chosen = idx[part]
+    order = np.argsort(availability[chosen], kind="stable")
+    return chosen[order]

@@ -1,0 +1,146 @@
+"""Behavioural roles of simulated peers.
+
+The paper layers two independent behavioural axes on top of the trace:
+
+* **sharing role** — *sharer* (seeds every completed file for 10 hours) vs
+  *(lazy) freerider* (leaves the swarm immediately after finishing a
+  download); origin seeders are infrastructure (always seed, excluded from
+  statistics);
+* **message behaviour** — honest, ignoring the message protocol, or lying
+  selfishly (Figure 3); assigned via
+  :mod:`repro.core.adversary` behaviours.
+
+:class:`RoleAssignment` derives both deterministically from a seed so that
+policy variants run against identical populations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+from repro.core.adversary import HonestBehavior, Ignorer, MessageBehavior, SelfishLiar
+from repro.sim.rng import RngRegistry
+from repro.traces.models import CommunityTrace
+
+__all__ = ["Role", "RoleAssignment"]
+
+
+class Role(str, Enum):
+    """Sharing behaviour of a peer."""
+
+    SHARER = "sharer"
+    FREERIDER = "freerider"
+    ORIGIN = "origin"  # infrastructure seeder; excluded from statistics
+
+
+@dataclass
+class RoleAssignment:
+    """Maps every peer to a sharing role and a message behaviour.
+
+    Attributes
+    ----------
+    roles:
+        ``{peer_id: Role}`` covering every peer in the trace.
+    behaviors:
+        ``{peer_id: MessageBehavior}``; peers default to honest.
+    """
+
+    roles: Dict[int, Role]
+    behaviors: Dict[int, MessageBehavior] = field(default_factory=dict)
+
+    @classmethod
+    def split(
+        cls,
+        trace: CommunityTrace,
+        freerider_fraction: float = 0.5,
+        seed: int = 0,
+        disobey_fraction: float = 0.0,
+        disobey_kind: Optional[str] = None,
+    ) -> "RoleAssignment":
+        """The paper's population split.
+
+        ``freerider_fraction`` of the subject peers are lazy freeriders,
+        the rest sharers; origin seeders keep the ORIGIN role.  If
+        ``disobey_fraction`` > 0, that fraction of *all subject peers* is
+        given the disobeying message behaviour ``disobey_kind`` (``"ignore"``
+        or ``"lie"``), drawn randomly from the freerider half — the paper
+        assumes cooperative sharers obey the protocol, so at most the
+        freerider fraction can disobey.
+
+        Raises
+        ------
+        ValueError
+            If ``disobey_fraction`` exceeds ``freerider_fraction`` or the
+            kind is unknown.
+        """
+        if not 0.0 <= freerider_fraction <= 1.0:
+            raise ValueError("freerider_fraction must be a probability")
+        if not 0.0 <= disobey_fraction <= 1.0:
+            raise ValueError("disobey_fraction must be a probability")
+        if disobey_fraction > 0 and disobey_kind not in ("ignore", "lie"):
+            raise ValueError(f"unknown disobey_kind {disobey_kind!r}")
+        if disobey_fraction > freerider_fraction + 1e-12:
+            raise ValueError(
+                "disobeying peers are drawn from the freeriders: "
+                f"disobey_fraction={disobey_fraction} > freerider_fraction={freerider_fraction}"
+            )
+        rng = RngRegistry(seed).stream("roles")
+        subject_ids = sorted(
+            pid
+            for pid, prof in trace.peers.items()
+            if not any(s.origin_seeder == pid for s in trace.swarms.values())
+        )
+        origin_ids = [pid for pid in trace.peers if pid not in set(subject_ids)]
+        shuffled = rng.shuffled(subject_ids)
+        n_free = int(round(freerider_fraction * len(subject_ids)))
+        freeriders = shuffled[:n_free]
+        sharers = shuffled[n_free:]
+        roles: Dict[int, Role] = {pid: Role.ORIGIN for pid in origin_ids}
+        roles.update({pid: Role.FREERIDER for pid in freeriders})
+        roles.update({pid: Role.SHARER for pid in sharers})
+
+        behaviors: Dict[int, MessageBehavior] = {}
+        if disobey_fraction > 0:
+            n_disobey = int(round(disobey_fraction * len(subject_ids)))
+            n_disobey = min(n_disobey, len(freeriders))
+            chosen = rng.sample(freeriders, n_disobey)
+            maker = Ignorer if disobey_kind == "ignore" else SelfishLiar
+            for pid in chosen:
+                behaviors[pid] = maker()
+        return cls(roles=roles, behaviors=behaviors)
+
+    # ------------------------------------------------------------------
+    def role_of(self, peer_id: int) -> Role:
+        """The sharing role of ``peer_id``."""
+        return self.roles[peer_id]
+
+    def behavior_of(self, peer_id: int) -> MessageBehavior:
+        """The message behaviour of ``peer_id`` (honest by default)."""
+        return self.behaviors.get(peer_id) or HonestBehavior()
+
+    def peers_with_role(self, role: Role) -> List[int]:
+        """All peer ids with the given role, sorted."""
+        return sorted(pid for pid, r in self.roles.items() if r == role)
+
+    @property
+    def sharers(self) -> List[int]:
+        """Sharer peer ids."""
+        return self.peers_with_role(Role.SHARER)
+
+    @property
+    def freeriders(self) -> List[int]:
+        """Freerider peer ids."""
+        return self.peers_with_role(Role.FREERIDER)
+
+    @property
+    def subjects(self) -> List[int]:
+        """All non-infrastructure peer ids (sharers + freeriders)."""
+        return sorted(self.sharers + self.freeriders)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<RoleAssignment sharers={len(self.sharers)} "
+            f"freeriders={len(self.freeriders)} disobeying={len(self.behaviors)}>"
+        )

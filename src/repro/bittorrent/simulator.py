@@ -1,0 +1,435 @@
+"""The trace-driven community simulator.
+
+:class:`CommunitySimulator` combines every substrate in the reproduction:
+the discrete-event kernel drives trace sessions and file requests, the
+BuddyCast PSS supplies gossip partners, BarterCast nodes accumulate
+histories and reputations, and the BitTorrent machinery (choking,
+rarest-first, bandwidth sharing) moves the actual bytes.  One instance
+simulates one scenario: a trace, a role assignment, and a reputation
+policy.
+
+Simulation structure per round (``config.round_interval`` seconds):
+
+1. membership maintenance — sharers whose 10-hour seed window elapsed
+   leave their swarms;
+2. choking — every online member of every swarm selects its unchoke set
+   (tit-for-tat + policy-ordered optimistic slot);
+3. bandwidth allocation — each uploader's uplink is split equally over its
+   active links across *all* swarms; each receiver's downlink caps its
+   total intake proportionally;
+4. transfer — each link moves its bytes, completing whole rarest-first
+   pieces, with every byte accounted in both BarterCast private histories
+   and the statistics collector;
+5. completion handling — freeriders leave finished swarms immediately,
+   sharers convert to seeders.
+
+Gossip runs as a separate periodic process: each online peer exchanges
+BarterCast messages (bidirectionally) with a PSS-sampled partner.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.bittorrent.choker import select_unchokes
+from repro.bittorrent.config import BitTorrentConfig
+from repro.bittorrent.piece import pick_rarest
+from repro.bittorrent.roles import Role, RoleAssignment
+from repro.bittorrent.stats import StatsCollector
+from repro.bittorrent.swarm import SwarmState
+from repro.core.node import BarterCastConfig, BarterCastNode
+from repro.core.policies import NoPolicy, ReputationPolicy
+from repro.pss.buddycast import BuddyCastPSS, OraclePSS, PeerSamplingService
+from repro.sim.engine import Simulator
+from repro.sim.process import PeriodicProcess
+from repro.sim.rng import RngRegistry
+from repro.traces.models import CommunityTrace
+
+__all__ = ["CommunitySimulator"]
+
+
+class CommunitySimulator:
+    """Simulates a BitTorrent community running BarterCast.
+
+    Parameters
+    ----------
+    trace:
+        The community workload (peers, sessions, swarms, requests).
+    roles:
+        Sharing roles and message behaviours per peer.
+    policy:
+        The reputation policy the choker consults (default: plain
+        BitTorrent, :class:`~repro.core.policies.NoPolicy`).
+    config:
+        BitTorrent/engine parameters.
+    bc_config:
+        BarterCast parameters (``Nh``, ``Nr``, metric).
+    seed:
+        Root seed for all stochastic components.
+    pss:
+        ``"buddycast"`` (epidemic partial views, default) or ``"oracle"``
+        (ideal global sampler, for ablations).
+    """
+
+    def __init__(
+        self,
+        trace: CommunityTrace,
+        roles: RoleAssignment,
+        policy: Optional[ReputationPolicy] = None,
+        config: Optional[BitTorrentConfig] = None,
+        bc_config: Optional[BarterCastConfig] = None,
+        seed: int = 0,
+        pss: str = "buddycast",
+    ) -> None:
+        trace.validate()
+        self.trace = trace
+        self.roles = roles
+        self.policy = policy if policy is not None else NoPolicy()
+        self.config = config if config is not None else BitTorrentConfig()
+        self.config.validate()
+        self.bc_config = bc_config if bc_config is not None else BarterCastConfig()
+        self.engine = Simulator()
+        self.rngs = RngRegistry(seed)
+
+        self.nodes: Dict[int, BarterCastNode] = {
+            pid: BarterCastNode(pid, self.bc_config, behavior=roles.behavior_of(pid))
+            for pid in trace.peers
+        }
+        self.online: Set[int] = set()
+        self.swarms: Dict[int, SwarmState] = {
+            sid: SwarmState(spec) for sid, spec in trace.swarms.items()
+        }
+        self.stats = StatsCollector(
+            list(trace.peers), trace.duration, self.config.sample_interval
+        )
+        self.round_idx = 0
+        # Origin seeders are infrastructure (a private community keeps its
+        # torrents seeded); they serve everyone and never apply the
+        # reputation policy.  An origin seeder never downloads, so under
+        # BarterCast it would see every peer as net-negative and a ban
+        # policy would eventually starve the whole community — an artifact
+        # of the substitution, not of the paper's mechanism (see DESIGN.md).
+        self._origin_policy = NoPolicy()
+        self._choke_rng = self.rngs.stream("choker")
+        self._gossip_rng = self.rngs.stream("gossip")
+        self._samplers: List[Callable[[float], None]] = []
+
+        if pss == "buddycast":
+            self.pss: PeerSamplingService = BuddyCastPSS(
+                is_online=self.is_online,
+                rng=self.rngs.stream("pss"),
+                view_size=self.config.pss_view_size,
+            )
+        elif pss == "oracle":
+            self.pss = OraclePSS(is_online=self.is_online, rng=self.rngs.stream("pss"))
+        else:
+            raise ValueError(f"unknown pss kind {pss!r}")
+        for pid in self.rngs.stream("pss-bootstrap").shuffled(sorted(trace.peers)):
+            self.pss.register(pid)
+
+        self._schedule_trace_events()
+        self._round_proc = PeriodicProcess(
+            self.engine,
+            self.config.round_interval,
+            self._round,
+            start_delay=self.config.round_interval,
+            label="bt-round",
+        )
+        self._gossip_proc = PeriodicProcess(
+            self.engine,
+            self.config.gossip_interval,
+            self._gossip_round,
+            start_delay=self.config.gossip_interval / 2.0,
+            label="gossip",
+        )
+        self._sample_proc = PeriodicProcess(
+            self.engine,
+            self.config.sample_interval,
+            self._fire_samplers,
+            start_delay=self.config.sample_interval,
+            label="sample",
+        )
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def _schedule_trace_events(self) -> None:
+        for pid, profile in self.trace.peers.items():
+            for session in profile.sessions:
+                self.engine.schedule_at(
+                    session.start, lambda p=pid: self.online.add(p), label="online"
+                )
+                self.engine.schedule_at(
+                    min(session.end, self.trace.duration),
+                    lambda p=pid: self.online.discard(p),
+                    label="offline",
+                )
+        for sid, spec in self.trace.swarms.items():
+            self.engine.schedule_at(
+                0.0,
+                lambda s=sid, p=spec.origin_seeder: self._join(s, p, complete=True),
+                label="origin-join",
+            )
+        for req in self.trace.requests:
+            self.engine.schedule_at(
+                req.time,
+                lambda r=req: self._join(r.swarm_id, r.peer_id),
+                label="request",
+            )
+
+    def _join(self, swarm_id: int, peer_id: int, complete: bool = False) -> None:
+        swarm = self.swarms[swarm_id]
+        if swarm.is_member(peer_id):
+            return
+        if self.trace.swarms[swarm_id].origin_seeder == peer_id:
+            complete = True
+        swarm.join(peer_id, self.engine.now, complete=complete)
+
+    def _leave(self, swarm_id: int, peer_id: int) -> None:
+        self.swarms[swarm_id].leave(peer_id)
+
+    # ------------------------------------------------------------------
+    # Queries used by the choker / PSS
+    # ------------------------------------------------------------------
+    def is_online(self, peer_id: int) -> bool:
+        """Whether the peer is currently within one of its trace sessions."""
+        return peer_id in self.online
+
+    def can_connect(self, a: int, b: int) -> bool:
+        """Whether peers ``a`` and ``b`` can form a connection (at least one
+        must accept incoming connections)."""
+        return self.trace.peers[a].connectable or self.trace.peers[b].connectable
+
+    # ------------------------------------------------------------------
+    # Observation hooks
+    # ------------------------------------------------------------------
+    def add_sampler(self, fn: Callable[[float], None]) -> None:
+        """Register a callback fired every ``config.sample_interval``."""
+        self._samplers.append(fn)
+
+    def _fire_samplers(self) -> None:
+        now = self.engine.now
+        for fn in self._samplers:
+            fn(now)
+
+    def system_reputation_snapshot(
+        self, subjects: Optional[List[int]] = None
+    ) -> Dict[int, float]:
+        """Equation (2) for every subject: the mean reputation each peer has
+        at all other subject peers."""
+        if subjects is None:
+            subjects = self.roles.subjects
+        sums = {pid: 0.0 for pid in subjects}
+        for evaluator in subjects:
+            node = self.nodes[evaluator]
+            for target in subjects:
+                if target != evaluator:
+                    sums[target] += node.reputation_of(target)
+        n = len(subjects)
+        if n <= 1:
+            return {pid: 0.0 for pid in subjects}
+        return {pid: s / (n - 1) for pid, s in sums.items()}
+
+    # ------------------------------------------------------------------
+    # The main round
+    # ------------------------------------------------------------------
+    def _round(self) -> None:
+        now = self.engine.now
+        dt = self.config.round_interval
+        self.round_idx += 1
+
+        self._expire_seeders(now)
+        links = self._collect_links()
+        transfers = self._allocate_bandwidth(links, dt)
+        completed = self._execute_transfers(transfers, now)
+        self._update_rates(transfers)
+        self._account_leech_time(now, dt)
+        self._handle_completions(completed)
+
+    def _expire_seeders(self, now: float) -> None:
+        seed_time = self.config.seed_time
+        for sid, swarm in self.swarms.items():
+            expired = [
+                m.peer_id
+                for m in swarm.members.values()
+                if m.is_seeder
+                and self.roles.role_of(m.peer_id) == Role.SHARER
+                and m.completed_at is not None
+                and now >= m.completed_at + seed_time
+            ]
+            for pid in expired:
+                self._leave(sid, pid)
+
+    def _collect_links(self) -> List[Tuple[int, int, SwarmState]]:
+        links: List[Tuple[int, int, SwarmState]] = []
+        for swarm in self.swarms.values():
+            if len(swarm.members) < 2:
+                continue
+            swarm.clear_in_flight()
+            for member in swarm.members.values():
+                pid = member.peer_id
+                if pid not in self.online:
+                    continue
+                is_origin = self.roles.role_of(pid) == Role.ORIGIN
+                unchoked = select_unchokes(
+                    swarm,
+                    member,
+                    policy=self._origin_policy if is_origin else self.policy,
+                    node=self.nodes[pid],
+                    rng=self._choke_rng,
+                    round_idx=self.round_idx,
+                    config=self.config,
+                    is_online=self.is_online,
+                    can_connect=self.can_connect,
+                )
+                for target in unchoked:
+                    links.append((pid, target, swarm))
+        return links
+
+    def _allocate_bandwidth(
+        self, links: List[Tuple[int, int, SwarmState]], dt: float
+    ) -> List[Tuple[int, int, SwarmState, float]]:
+        """Split uplinks equally across links; cap by receiver downlinks."""
+        if not links:
+            return []
+        n_links = Counter(up for up, _, _ in links)
+        intended = [
+            (up, down, swarm, self.trace.peers[up].uplink_bps * dt / n_links[up])
+            for up, down, swarm in links
+        ]
+        incoming: Dict[int, float] = defaultdict(float)
+        for up, down, _, b in intended:
+            incoming[down] += b
+        scale = {
+            down: min(1.0, self.trace.peers[down].downlink_bps * dt / total)
+            for down, total in incoming.items()
+            if total > 0
+        }
+        return [
+            (up, down, swarm, b * scale.get(down, 1.0)) for up, down, swarm, b in intended
+        ]
+
+    def _execute_transfers(
+        self, transfers: List[Tuple[int, int, SwarmState, float]], now: float
+    ) -> List[Tuple[SwarmState, int]]:
+        completed: List[Tuple[SwarmState, int]] = []
+        self._recv_acc: Dict[Tuple[int, int], Dict[int, float]] = defaultdict(dict)
+        self._sent_acc: Dict[Tuple[int, int], Dict[int, float]] = defaultdict(dict)
+        for up, down, swarm, budget in transfers:
+            moved = self._transfer(swarm, up, down, budget, now)
+            if moved > 0:
+                sid = swarm.spec.swarm_id
+                recv = self._recv_acc[(sid, down)]
+                recv[up] = recv.get(up, 0.0) + moved
+                sent = self._sent_acc[(sid, up)]
+                sent[down] = sent.get(down, 0.0) + moved
+                member = swarm.members.get(down)
+                if member is not None and member.bitfield.is_complete:
+                    completed.append((swarm, down))
+        return completed
+
+    def _transfer(
+        self, swarm: SwarmState, up: int, down: int, budget: float, now: float
+    ) -> float:
+        if budget <= 0:
+            return 0.0
+        um = swarm.members.get(up)
+        dm = swarm.members.get(down)
+        if um is None or dm is None or dm.bitfield.is_complete:
+            return 0.0
+        piece_size = swarm.spec.piece_size
+        uploader_have = None if um.bitfield.is_complete else um.bitfield.have
+        candidates = ~(dm.bitfield.have | dm.in_flight)
+        if uploader_have is not None:
+            candidates &= uploader_have
+        n_candidates = int(np.count_nonzero(candidates))
+        if n_candidates == 0:
+            return 0.0
+        carry = dm.carry.get(up, 0.0)
+        max_bytes = n_candidates * piece_size - carry
+        actual = min(budget, max_bytes)
+        if actual <= 0:
+            return 0.0
+        total = carry + actual
+        n_complete = int(total // piece_size)
+        dm.carry[up] = total - n_complete * piece_size
+        if n_complete > 0:
+            pieces = pick_rarest(
+                swarm.availability, uploader_have, dm.bitfield.have, dm.in_flight, n_complete
+            )
+            swarm.grant_pieces(dm, pieces, now)
+        # BarterCast + measurement accounting (both directions, real bytes).
+        self.nodes[up].record_upload(down, actual, now)
+        self.nodes[down].record_download(up, actual, now)
+        self.stats.record_transfer(up, down, actual, now)
+        return actual
+
+    def _update_rates(self, transfers: List[Tuple[int, int, SwarmState, float]]) -> None:
+        """Roll this round's per-link byte counts into the tit-for-tat state."""
+        for swarm in self.swarms.values():
+            sid = swarm.spec.swarm_id
+            for member in swarm.members.values():
+                member.received_last_round = self._recv_acc.get((sid, member.peer_id), {})
+                member.sent_last_round = self._sent_acc.get((sid, member.peer_id), {})
+
+    def _account_leech_time(self, now: float, dt: float) -> None:
+        leeching: Set[int] = set()
+        for swarm in self.swarms.values():
+            for member in swarm.members.values():
+                if member.is_leecher and member.peer_id in self.online:
+                    leeching.add(member.peer_id)
+        for pid in leeching:
+            self.stats.record_leech_time(pid, dt, now)
+
+    def _handle_completions(self, completed: List[Tuple[SwarmState, int]]) -> None:
+        for swarm, pid in completed:
+            if not swarm.is_member(pid):
+                continue
+            role = self.roles.role_of(pid)
+            if role == Role.FREERIDER:
+                # Lazy freerider: leave immediately after finishing.
+                self._leave(swarm.spec.swarm_id, pid)
+            # Sharers stay; the seed window is enforced in _expire_seeders.
+
+    # ------------------------------------------------------------------
+    # Gossip
+    # ------------------------------------------------------------------
+    def _gossip_round(self) -> None:
+        now = self.engine.now
+        for pid in self._gossip_rng.shuffled(sorted(self.online)):
+            if pid not in self.online:
+                continue
+            self.pss.tick(pid, now)
+            partner = self.pss.sample(pid)
+            if partner is None or partner not in self.online:
+                continue
+            self._exchange_messages(pid, partner, now)
+
+    def _exchange_messages(self, a: int, b: int, now: float) -> None:
+        na, nb = self.nodes[a], self.nodes[b]
+        na.note_seen(b, now)
+        nb.note_seen(a, now)
+        loss = self.config.gossip_loss
+        msg_a = na.create_message(now)
+        if msg_a is not None and not (loss > 0 and self._gossip_rng.bernoulli(loss)):
+            nb.receive_message(msg_a)
+        msg_b = nb.create_message(now)
+        if msg_b is not None and not (loss > 0 and self._gossip_rng.bernoulli(loss)):
+            na.receive_message(msg_b)
+
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> StatsCollector:
+        """Run the simulation to ``until`` (default: the trace horizon) and
+        return the statistics collector."""
+        horizon = self.trace.duration if until is None else min(until, self.trace.duration)
+        self.engine.run_until(horizon)
+        return self.stats
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<CommunitySimulator t={self.engine.now:.0f}s policy={self.policy.name} "
+            f"online={len(self.online)}>"
+        )

@@ -1,0 +1,191 @@
+"""Command-line entry point.
+
+Usage::
+
+    python -m repro.cli fig1 [--profile fast|paper] [--seed N]
+    python -m repro.cli fig2 [--profile ...]
+    python -m repro.cli fig3 [--kind ignore|lie] [--profile ...]
+    python -m repro.cli fig4 [--peers N] [--seed N]
+    python -m repro.cli whitewash [--seed N]
+    python -m repro.cli scalability [--peers N]
+    python -m repro.cli all  [--profile ...]
+
+Each subcommand regenerates one figure of the paper and prints the series
+as tables/ASCII charts (see :mod:`repro.experiments.report`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.deployment.network import DeploymentParams
+from repro.experiments import (
+    ScenarioConfig,
+    report,
+    run_fig1,
+    run_fig2,
+    run_fig3,
+    run_fig4,
+)
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="bartercast",
+        description="Regenerate the figures of the BarterCast paper (IPDPS 2009).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--profile",
+            choices=("tiny", "fast", "paper"),
+            default="fast",
+            help="scenario scale: 'fast' (seconds) or 'paper' (full scale, minutes)",
+        )
+        p.add_argument("--seed", type=int, default=42, help="root random seed")
+        p.add_argument(
+            "--export",
+            metavar="DIR",
+            default=None,
+            help="also write the figure series as TSV files into DIR",
+        )
+
+    add_common(sub.add_parser("fig1", help="contribution vs reputation"))
+    add_common(sub.add_parser("fig2", help="rank/ban policy effectiveness"))
+    p3 = sub.add_parser("fig3", help="disobeying the message protocol")
+    add_common(p3)
+    p3.add_argument(
+        "--kind",
+        choices=("ignore", "lie", "both"),
+        default="both",
+        help="manipulation type (panel a: ignore, panel b: lie)",
+    )
+    p4 = sub.add_parser("fig4", help="deployment measurement")
+    p4.add_argument("--peers", type=int, default=5000, help="population size")
+    p4.add_argument("--seed", type=int, default=42, help="root random seed")
+    pw = sub.add_parser("whitewash", help="stranger-policy trade-off (paper 3.5)")
+    pw.add_argument("--seed", type=int, default=42, help="root random seed")
+    ps = sub.add_parser("scalability", help="subjective-view scaling (future work)")
+    ps.add_argument("--peers", type=int, default=100_000, help="largest view size")
+    ps.add_argument("--seed", type=int, default=42, help="root random seed")
+    add_common(sub.add_parser("all", help="regenerate every figure"))
+    return parser
+
+
+def _maybe_export(tables, export_dir) -> None:
+    if export_dir is None:
+        return
+    from repro.analysis.export import write_series
+
+    paths = write_series(tables, export_dir)
+    for path in paths:
+        print(f"[wrote {path}]")
+
+
+def _fig1(scenario: ScenarioConfig, export_dir=None) -> None:
+    result = run_fig1(scenario)
+    print(report.report_fig1(result))
+    from repro.analysis.export import export_fig1
+
+    _maybe_export(export_fig1(result), export_dir)
+
+
+def _fig2(scenario: ScenarioConfig, export_dir=None) -> None:
+    result = run_fig2(scenario)
+    print(report.report_fig2(result))
+    from repro.analysis.export import export_fig2
+
+    _maybe_export(export_fig2(result), export_dir)
+
+
+def _fig3(scenario: ScenarioConfig, kind: str, export_dir=None) -> None:
+    from repro.analysis.export import export_fig3
+
+    kinds = ("ignore", "lie") if kind == "both" else (kind,)
+    for k in kinds:
+        result = run_fig3(scenario, kind=k)
+        print(report.report_fig3(result))
+        print()
+        _maybe_export(export_fig3(result), export_dir)
+
+
+def _fig4(peers: int, seed: int) -> None:
+    params = DeploymentParams(num_peers=peers)
+    print(report.report_fig4(run_fig4(params, seed=seed)))
+
+
+def _whitewash(seed: int) -> None:
+    from repro.analysis.ascii_plot import render_table
+    from repro.experiments import run_whitewash
+
+    rows = []
+    for kind in ("trusted", "static", "adaptive"):
+        r = run_whitewash(kind, seed=seed)
+        rows.append(
+            (kind, r.service["newcomer"], r.service["washer"],
+             r.washer_advantage, r.identities_burned, r.prior_trajectory[-1])
+        )
+    print("== Whitewashing defenses (paper 3.5 / future work) ==")
+    print(render_table(
+        ["stranger policy", "newcomer units", "washer units",
+         "washer/newcomer", "ids burned", "final prior"],
+        rows, "{:.2f}",
+    ))
+
+
+def _scalability(peers: int, seed: int) -> None:
+    from repro.analysis.ascii_plot import render_table
+    from repro.experiments import run_scalability
+
+    sizes = [s for s in (1_000, 10_000, 50_000, 100_000) if s <= peers]
+    if not sizes or sizes[-1] != peers:
+        sizes.append(peers)
+    result = run_scalability(sizes=tuple(sizes), seed=seed)
+    print("== Scalability of the subjective view (future work) ==")
+    print(render_table(
+        ["known peers", "edges", "query us", "ingest us/record"],
+        [(p.num_peers, p.num_edges, p.query_us, p.ingest_us) for p in result.points],
+        "{:.1f}",
+    ))
+    print(f"query growth factor across sizes: {result.query_growth_factor():.2f}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    t0 = time.time()
+    if args.command == "fig4":
+        _fig4(args.peers, args.seed)
+    elif args.command == "whitewash":
+        _whitewash(args.seed)
+    elif args.command == "scalability":
+        _scalability(args.peers, args.seed)
+    else:
+        scenario = ScenarioConfig.named(args.profile, seed=args.seed)
+        export_dir = getattr(args, "export", None)
+        if args.command == "fig1":
+            _fig1(scenario, export_dir)
+        elif args.command == "fig2":
+            _fig2(scenario, export_dir)
+        elif args.command == "fig3":
+            _fig3(scenario, args.kind, export_dir)
+        elif args.command == "all":
+            _fig1(scenario, export_dir)
+            print()
+            _fig2(scenario, export_dir)
+            print()
+            _fig3(scenario, "both", export_dir)
+            print()
+            _fig4(1000 if args.profile != "paper" else 5000, args.seed)
+    print(f"\n[done in {time.time() - t0:.1f}s]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

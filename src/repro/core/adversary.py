@@ -1,0 +1,108 @@
+"""Message behaviours: honest peers and protocol-disobeying peers.
+
+The Figure 3 experiments vary the fraction of peers that disobey the
+BarterCast *message* protocol (the data-transfer protocol itself is still
+followed — these are lazy freeriders with modified gossip behaviour):
+
+* :class:`Ignorer` — sends no BarterCast messages at all (Figure 3(a));
+* :class:`SelfishLiar` — claims to have uploaded huge amounts to the peers
+  it knows and to have downloaded nothing (Figure 3(b)).
+
+Behaviours are strategy objects plugged into
+:class:`~repro.core.node.BarterCastNode`; they only control what the node
+*sends*, never how it interprets received messages.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Hashable, Optional
+
+from repro.core.messages import BarterCastMessage, HistoryRecord, select_records
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.node import BarterCastNode
+
+__all__ = ["MessageBehavior", "HonestBehavior", "Ignorer", "SelfishLiar"]
+
+PeerId = Hashable
+
+#: The fabricated upload total a selfish liar claims per counterparty.
+#: "Huge" per the paper; 10 GiB dwarfs any honest weekly transfer total.
+LIE_UPLOAD_BYTES = 10.0 * 1024**3
+
+
+class MessageBehavior:
+    """Strategy interface for producing outgoing BarterCast messages."""
+
+    #: Human-readable tag used in experiment reports.
+    name = "abstract"
+
+    def make_message(self, node: "BarterCastNode", now: float) -> Optional[BarterCastMessage]:
+        """Build the message ``node`` sends at time ``now``.
+
+        Returns ``None`` if the peer sends nothing this round.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__}>"
+
+
+class HonestBehavior(MessageBehavior):
+    """Protocol-obeying peers: send the paper's selection of true records."""
+
+    name = "honest"
+
+    def make_message(self, node: "BarterCastNode", now: float) -> Optional[BarterCastMessage]:
+        records = select_records(node.history, node.config.n_highest, node.config.n_recent)
+        return BarterCastMessage(sender=node.peer_id, created_at=now, records=tuple(records))
+
+
+class Ignorer(MessageBehavior):
+    """Peers that ignore the message protocol: they send nothing.
+
+    They still receive and apply other peers' messages (a lazy freerider
+    has no reason to blind itself) — the paper's scenario only removes
+    their *outgoing* information.
+    """
+
+    name = "ignore"
+
+    def make_message(self, node: "BarterCastNode", now: float) -> Optional[BarterCastMessage]:
+        return None
+
+
+class SelfishLiar(MessageBehavior):
+    """Peers that lie selfishly about their contribution.
+
+    The paper: "peers lie in a selfish way by claiming they sent huge
+    amounts of data to other peers and received nothing."  The liar keeps
+    the honest selection of counterparties (so the message looks plausible)
+    but rewrites every record to a huge upload and zero download.
+
+    Parameters
+    ----------
+    lie_upload_bytes:
+        The fabricated per-counterparty upload total.
+    """
+
+    name = "lie"
+
+    def __init__(self, lie_upload_bytes: float = LIE_UPLOAD_BYTES) -> None:
+        if lie_upload_bytes <= 0:
+            raise ValueError("lie_upload_bytes must be positive")
+        self.lie_upload_bytes = float(lie_upload_bytes)
+
+    def make_message(self, node: "BarterCastNode", now: float) -> Optional[BarterCastMessage]:
+        honest = select_records(node.history, node.config.n_highest, node.config.n_recent)
+        counterparties = [r.counterparty for r in honest]
+        if not counterparties:
+            # A liar with an empty history fabricates nothing — it has no
+            # counterparties to name (naming unknown ids would not help it:
+            # edges toward the evaluator are what matter).
+            return None
+        records = tuple(
+            HistoryRecord(counterparty=c, uploaded=self.lie_upload_bytes, downloaded=0.0)
+            for c in counterparties
+        )
+        return BarterCastMessage(sender=node.peer_id, created_at=now, records=records)

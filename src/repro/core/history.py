@@ -1,0 +1,178 @@
+"""The private history ledger.
+
+Each peer records, per counterparty, the total bytes it has uploaded to and
+downloaded from that counterparty, plus the last time the counterparty was
+seen.  The paper's security argument rests on this ledger being local and
+unforgeable-by-others: the maxflow toward the evaluating peer *i* is always
+constrained by *i*'s incoming edges, and those come exclusively from *i*'s
+own private history.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterator, List, Tuple
+
+__all__ = ["TransferTotals", "PrivateHistory"]
+
+PeerId = Hashable
+
+
+@dataclass
+class TransferTotals:
+    """Aggregated transfer totals with one counterparty.
+
+    Attributes
+    ----------
+    uploaded:
+        Total bytes the ledger owner uploaded *to* the counterparty.
+    downloaded:
+        Total bytes the ledger owner downloaded *from* the counterparty.
+    last_seen:
+        Simulated time (seconds) of the most recent interaction.
+    """
+
+    uploaded: float = 0.0
+    downloaded: float = 0.0
+    last_seen: float = 0.0
+
+    @property
+    def net(self) -> float:
+        """Uploaded minus downloaded (positive: owner gave more)."""
+        return self.uploaded - self.downloaded
+
+
+class PrivateHistory:
+    """A peer's own record of its data exchanges.
+
+    Mutations go through :meth:`record_upload` / :meth:`record_download` /
+    :meth:`touch`; reads expose per-peer totals and the two selections the
+    BarterCast message protocol needs (top uploaders to the owner, most
+    recently seen peers).
+
+    Parameters
+    ----------
+    owner:
+        Identifier of the peer this ledger belongs to.
+    """
+
+    def __init__(self, owner: PeerId) -> None:
+        self.owner = owner
+        self._records: Dict[PeerId, TransferTotals] = {}
+        self._total_up = 0.0
+        self._total_down = 0.0
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def record_upload(self, peer: PeerId, nbytes: float, now: float) -> None:
+        """Record that the owner uploaded ``nbytes`` to ``peer`` at ``now``."""
+        self._validate(peer, nbytes)
+        rec = self._get_or_create(peer)
+        rec.uploaded += float(nbytes)
+        rec.last_seen = max(rec.last_seen, float(now))
+        self._total_up += float(nbytes)
+
+    def record_download(self, peer: PeerId, nbytes: float, now: float) -> None:
+        """Record that the owner downloaded ``nbytes`` from ``peer`` at ``now``."""
+        self._validate(peer, nbytes)
+        rec = self._get_or_create(peer)
+        rec.downloaded += float(nbytes)
+        rec.last_seen = max(rec.last_seen, float(now))
+        self._total_down += float(nbytes)
+
+    def touch(self, peer: PeerId, now: float) -> None:
+        """Record an interaction with ``peer`` (e.g. a gossip exchange)
+        without any transfer, so it counts as "recently seen"."""
+        if peer == self.owner:
+            raise ValueError("a peer cannot interact with itself")
+        rec = self._get_or_create(peer)
+        rec.last_seen = max(rec.last_seen, float(now))
+
+    def _validate(self, peer: PeerId, nbytes: float) -> None:
+        if peer == self.owner:
+            raise ValueError("a peer cannot transfer data with itself")
+        if nbytes < 0:
+            raise ValueError(f"transfer size must be non-negative, got {nbytes}")
+
+    def _get_or_create(self, peer: PeerId) -> TransferTotals:
+        rec = self._records.get(peer)
+        if rec is None:
+            rec = TransferTotals()
+            self._records[peer] = rec
+        return rec
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def get(self, peer: PeerId) -> TransferTotals:
+        """Totals with ``peer`` (zeros if never interacted).
+
+        The returned object is a copy; mutating it does not affect the
+        ledger.
+        """
+        rec = self._records.get(peer)
+        if rec is None:
+            return TransferTotals()
+        return TransferTotals(rec.uploaded, rec.downloaded, rec.last_seen)
+
+    def __contains__(self, peer: PeerId) -> bool:
+        return peer in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def peers(self) -> Iterator[PeerId]:
+        """Iterate over all counterparties."""
+        return iter(self._records)
+
+    def items(self) -> Iterator[Tuple[PeerId, TransferTotals]]:
+        """Iterate over ``(peer, totals)`` pairs (live objects, do not mutate)."""
+        return iter(self._records.items())
+
+    @property
+    def total_uploaded(self) -> float:
+        """Total bytes uploaded to all counterparties."""
+        return self._total_up
+
+    @property
+    def total_downloaded(self) -> float:
+        """Total bytes downloaded from all counterparties."""
+        return self._total_down
+
+    @property
+    def net_contribution(self) -> float:
+        """Total uploaded minus total downloaded (the paper's x-axis in
+        Figure 1(b), there measured on *real* behaviour)."""
+        return self._total_up - self._total_down
+
+    # ------------------------------------------------------------------
+    # Message-protocol selections
+    # ------------------------------------------------------------------
+    def top_uploaders(self, n: int) -> List[PeerId]:
+        """The ``n`` peers with the highest upload *to the owner*.
+
+        Ties are broken deterministically by peer id representation so the
+        protocol is reproducible across runs.
+        """
+        if n <= 0:
+            return []
+        ranked = sorted(
+            self._records.items(), key=lambda kv: (-kv[1].downloaded, repr(kv[0]))
+        )
+        return [peer for peer, rec in ranked[:n] if rec.downloaded > 0]
+
+    def most_recent(self, n: int) -> List[PeerId]:
+        """The ``n`` most recently seen peers (newest first)."""
+        if n <= 0:
+            return []
+        ranked = sorted(
+            self._records.items(), key=lambda kv: (-kv[1].last_seen, repr(kv[0]))
+        )
+        return [peer for peer, _ in ranked[:n]]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<PrivateHistory owner={self.owner!r} peers={len(self._records)} "
+            f"up={self._total_up:.0f} down={self._total_down:.0f}>"
+        )

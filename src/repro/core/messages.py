@@ -1,0 +1,145 @@
+"""BarterCast messages and the record-selection rule.
+
+A BarterCast message is a selection of the sender's private history.  The
+paper's rule: peer *i* selects the records of the ``Nh`` peers with the
+highest upload to *i* as well as the ``Nr`` peers most recently seen by *i*
+(the two selections are deduplicated; the paper uses ``Nh = Nr = 10``).
+
+Each :class:`HistoryRecord` is a *claim by the sender* about one ordered
+pair: "I uploaded ``uploaded`` bytes to ``counterparty`` and downloaded
+``downloaded`` bytes from it, in total".  Records carry running totals, not
+deltas, so a newer record from the same reporter about the same
+counterparty supersedes the older one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, List, Sequence
+
+from repro.core.history import PrivateHistory
+
+__all__ = ["HistoryRecord", "BarterCastMessage", "select_records"]
+
+PeerId = Hashable
+
+
+@dataclass(frozen=True)
+class HistoryRecord:
+    """One private-history entry as carried in a message.
+
+    Attributes
+    ----------
+    counterparty:
+        The peer the sender exchanged data with.
+    uploaded:
+        Total bytes the *sender claims* to have uploaded to ``counterparty``.
+    downloaded:
+        Total bytes the *sender claims* to have downloaded from it.
+    """
+
+    counterparty: PeerId
+    uploaded: float
+    downloaded: float
+
+    def is_sane(self) -> bool:
+        """Basic well-formedness: finite, non-negative totals."""
+        return (
+            self.uploaded >= 0.0
+            and self.downloaded >= 0.0
+            and self.uploaded == self.uploaded  # not NaN
+            and self.downloaded == self.downloaded
+            and self.uploaded != float("inf")
+            and self.downloaded != float("inf")
+        )
+
+
+@dataclass(frozen=True)
+class BarterCastMessage:
+    """A BarterCast gossip message.
+
+    Attributes
+    ----------
+    sender:
+        The reporting peer; every record is a claim by this peer.
+    created_at:
+        Simulated creation time; receivers use it for supersede-by-
+        timestamp semantics.
+    records:
+        The selected history records.
+    """
+
+    sender: PeerId
+    created_at: float
+    records: tuple = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "records", tuple(self.records))
+
+    @property
+    def num_records(self) -> int:
+        """Number of records carried."""
+        return len(self.records)
+
+    def sane_records(self) -> List[HistoryRecord]:
+        """The subset of records that pass basic validation.
+
+        Receivers drop malformed records (negative or non-finite totals,
+        self-referential counterparties) rather than rejecting the whole
+        message, mirroring the defensive parsing of the deployed client.
+        """
+        return [
+            r
+            for r in self.records
+            if isinstance(r, HistoryRecord)
+            and r.is_sane()
+            and r.counterparty != self.sender
+        ]
+
+
+def select_records(
+    history: PrivateHistory,
+    n_highest: int,
+    n_recent: int,
+) -> List[HistoryRecord]:
+    """Apply the paper's selection rule to a private history.
+
+    Returns records for the union of the ``n_highest`` top uploaders to the
+    owner and the ``n_recent`` most recently seen peers, preserving the
+    top-uploader-first order and deduplicating.
+    """
+    chosen: List[PeerId] = []
+    seen = set()
+    for peer in history.top_uploaders(n_highest):
+        if peer not in seen:
+            seen.add(peer)
+            chosen.append(peer)
+    for peer in history.most_recent(n_recent):
+        if peer not in seen:
+            seen.add(peer)
+            chosen.append(peer)
+    records = []
+    for peer in chosen:
+        totals = history.get(peer)
+        records.append(
+            HistoryRecord(
+                counterparty=peer,
+                uploaded=totals.uploaded,
+                downloaded=totals.downloaded,
+            )
+        )
+    return records
+
+
+def make_message(
+    history: PrivateHistory,
+    now: float,
+    n_highest: int,
+    n_recent: int,
+) -> BarterCastMessage:
+    """Build an honest BarterCast message from ``history`` at time ``now``."""
+    return BarterCastMessage(
+        sender=history.owner,
+        created_at=now,
+        records=tuple(select_records(history, n_highest, n_recent)),
+    )

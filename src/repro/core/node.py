@@ -1,0 +1,171 @@
+"""The BarterCast node: one peer's complete reputation state.
+
+A :class:`BarterCastNode` ties together the private history, the subjective
+shared history, the subjective local transfer graph, the message behaviour
+(honest / ignorer / liar), and a reputation cache.  The BitTorrent
+simulator calls into it on three paths:
+
+* transfer accounting (``record_upload`` / ``record_download``),
+* gossip (``create_message`` / ``receive_message``),
+* policy decisions (``reputation_of``), which are cache-hot because the
+  choker re-evaluates candidates every round.
+
+Cache discipline: reputations are memoized per target and invalidated
+wholesale whenever the subjective graph's version counter moves (any
+private-history or shared-history change).  Under gossip the graph changes
+in bursts between choke rounds, so hit rates during ranking are high.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.core.adversary import HonestBehavior, MessageBehavior
+from repro.core.history import PrivateHistory
+from repro.core.messages import BarterCastMessage
+from repro.core.reputation import ReputationMetric
+from repro.core.sharedhistory import SubjectiveSharedHistory
+from repro.graph.transfer_graph import TransferGraph
+
+__all__ = ["BarterCastConfig", "BarterCastNode"]
+
+PeerId = Hashable
+
+
+@dataclass
+class BarterCastConfig:
+    """Protocol parameters of a BarterCast node.
+
+    Attributes
+    ----------
+    n_highest:
+        ``Nh``: number of top-uploader records per message (paper: 10).
+    n_recent:
+        ``Nr``: number of most-recently-seen records per message (paper: 10).
+    metric:
+        The reputation metric (kernel, unit, scaling).
+    """
+
+    n_highest: int = 10
+    n_recent: int = 10
+    metric: ReputationMetric = field(default_factory=ReputationMetric)
+
+
+class BarterCastNode:
+    """One peer's BarterCast agent.
+
+    Parameters
+    ----------
+    peer_id:
+        This peer's identifier (the paper assumes machine-dependent
+        permanent identifiers; any hashable works here).
+    config:
+        Protocol parameters; a default-constructed config matches the paper.
+    behavior:
+        Message behaviour; defaults to :class:`HonestBehavior`.
+    """
+
+    def __init__(
+        self,
+        peer_id: PeerId,
+        config: Optional[BarterCastConfig] = None,
+        behavior: Optional[MessageBehavior] = None,
+    ) -> None:
+        self.peer_id = peer_id
+        self.config = config if config is not None else BarterCastConfig()
+        self.behavior: MessageBehavior = behavior if behavior is not None else HonestBehavior()
+        self.history = PrivateHistory(peer_id)
+        self.graph = TransferGraph()
+        self.graph.add_node(peer_id)
+        self.shared = SubjectiveSharedHistory(peer_id, self.graph)
+        self._rep_cache: Dict[PeerId, float] = {}
+        self._rep_cache_version = -1
+        self.messages_sent = 0
+        self.messages_received = 0
+
+    # ------------------------------------------------------------------
+    # Transfer accounting (private history is authoritative for own edges)
+    # ------------------------------------------------------------------
+    def record_upload(self, peer: PeerId, nbytes: float, now: float) -> None:
+        """Account ``nbytes`` uploaded to ``peer`` at time ``now``."""
+        self.history.record_upload(peer, nbytes, now)
+        self.graph.set_transfer(self.peer_id, peer, self.history.get(peer).uploaded)
+
+    def record_download(self, peer: PeerId, nbytes: float, now: float) -> None:
+        """Account ``nbytes`` downloaded from ``peer`` at time ``now``."""
+        self.history.record_download(peer, nbytes, now)
+        self.graph.set_transfer(peer, self.peer_id, self.history.get(peer).downloaded)
+
+    def note_seen(self, peer: PeerId, now: float) -> None:
+        """Mark ``peer`` as seen now (affects the ``Nr`` selection)."""
+        if peer != self.peer_id:
+            self.history.touch(peer, now)
+
+    # ------------------------------------------------------------------
+    # Gossip
+    # ------------------------------------------------------------------
+    def create_message(self, now: float) -> Optional[BarterCastMessage]:
+        """The message this node sends at ``now`` (None for ignorers)."""
+        msg = self.behavior.make_message(self, now)
+        if msg is not None:
+            self.messages_sent += 1
+        return msg
+
+    def receive_message(self, message: BarterCastMessage) -> int:
+        """Ingest a received message into the subjective shared history.
+
+        Messages from self are rejected; records about the receiver are
+        dropped inside the store (private history is authoritative there).
+        Returns the number of records applied.
+        """
+        if message.sender == self.peer_id:
+            raise ValueError("node received its own message")
+        self.messages_received += 1
+        return self.shared.ingest(message)
+
+    # ------------------------------------------------------------------
+    # Reputation
+    # ------------------------------------------------------------------
+    def reputation_of(self, peer: PeerId) -> float:
+        """The subjective reputation ``R_self(peer)``, cached per graph version."""
+        if peer == self.peer_id:
+            raise ValueError("a node does not rate itself")
+        if self._rep_cache_version != self.graph.version:
+            self._rep_cache.clear()
+            self._rep_cache_version = self.graph.version
+        cached = self._rep_cache.get(peer)
+        if cached is not None:
+            return cached
+        value = self.config.metric.reputation(self.graph, self.peer_id, peer)
+        self._rep_cache[peer] = value
+        return value
+
+    def reputations_of(self, peers: List[PeerId]) -> Dict[PeerId, float]:
+        """Batch evaluation of several peers (shares one cache epoch)."""
+        return {p: self.reputation_of(p) for p in peers if p != self.peer_id}
+
+    def rank_by_reputation(self, peers: List[PeerId]) -> List[PeerId]:
+        """Peers sorted by descending subjective reputation.
+
+        Ties are broken deterministically by peer id representation, which
+        in the rank policy gives stable round-robin-like behaviour among
+        strangers (all reputation ~0).
+        """
+        scored: List[Tuple[float, str, PeerId]] = [
+            (-self.reputation_of(p), repr(p), p) for p in peers if p != self.peer_id
+        ]
+        scored.sort(key=lambda t: (t[0], t[1]))
+        return [p for _, _, p in scored]
+
+    # ------------------------------------------------------------------
+    @property
+    def known_peers(self) -> int:
+        """Number of nodes in the subjective graph (including self)."""
+        return self.graph.num_nodes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<BarterCastNode {self.peer_id!r} behavior={self.behavior.name} "
+            f"known={self.known_peers} sent={self.messages_sent} recv={self.messages_received}>"
+        )

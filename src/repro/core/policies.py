@@ -1,0 +1,162 @@
+"""Reputation policies for BitTorrent integration.
+
+Section 4.2 of the paper defines two policies on top of the standard
+tit-for-tat choker:
+
+* **rank policy** — optimistic unchoke slots are assigned to interested
+  peers in order of their reputation: "a peer can not get an upload slot
+  while peers with a higher reputation are also interested and not yet
+  served";
+* **ban policy** — "peers do not assign any upload slots to peers that have
+  a reputation which is below a certain negative threshold δ".
+
+Plus the implicit baseline: plain BitTorrent with no reputation at all
+(:class:`NoPolicy`).
+
+The BitTorrent choker consults the policy at two points:
+
+``allows(node, peer)``
+    May ``peer`` receive *any* upload slot (regular or optimistic)?  The
+    ban policy answers ``False`` below δ; rank and baseline always allow.
+
+``order_optimistic(node, interested, rng)``
+    In what order should optimistic-unchoke candidates be considered?  The
+    rank policy sorts by descending reputation; the others shuffle
+    uniformly (BitTorrent's round-robin is realized as a fresh random
+    order per rotation, which has the same long-run fairness).
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional
+
+from repro.core.node import BarterCastNode
+from repro.sim.rng import RngStream
+
+__all__ = ["ReputationPolicy", "NoPolicy", "RankPolicy", "BanPolicy"]
+
+PeerId = Hashable
+
+
+class ReputationPolicy:
+    """Interface the choker uses to consult BarterCast.
+
+    Policies that act on reputation values accept an optional
+    ``stranger_policy`` (:mod:`repro.core.whitewashing`): when provided,
+    unknown peers are scored by the stranger prior instead of a flat 0,
+    which is the whitewashing countermeasure the paper defers to future
+    work.
+    """
+
+    #: Tag used in experiment reports ("rank", "ban", "none").
+    name = "abstract"
+
+    #: Optional stranger policy consulted for reputation lookups.
+    stranger_policy = None
+
+    def _reputation(self, node: BarterCastNode, peer: PeerId) -> float:
+        if self.stranger_policy is not None:
+            return self.stranger_policy.effective_reputation(node, peer)
+        return node.reputation_of(peer)
+
+    def allows(self, node: Optional[BarterCastNode], peer: PeerId) -> bool:
+        """Whether ``peer`` may receive an upload slot from ``node``'s owner."""
+        raise NotImplementedError
+
+    def order_optimistic(
+        self,
+        node: Optional[BarterCastNode],
+        interested: List[PeerId],
+        rng: RngStream,
+    ) -> List[PeerId]:
+        """Candidate order for the optimistic unchoke slot (best first)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__}>"
+
+
+class NoPolicy(ReputationPolicy):
+    """Plain BitTorrent: reputation is ignored entirely."""
+
+    name = "none"
+
+    def allows(self, node: Optional[BarterCastNode], peer: PeerId) -> bool:
+        return True
+
+    def order_optimistic(
+        self,
+        node: Optional[BarterCastNode],
+        interested: List[PeerId],
+        rng: RngStream,
+    ) -> List[PeerId]:
+        return rng.shuffled(interested)
+
+
+class RankPolicy(ReputationPolicy):
+    """Optimistic slots in descending reputation order.
+
+    Strangers (reputation ≈ 0) tie; ties are shuffled so newcomers still
+    rotate through the optimistic slot as in plain BitTorrent.
+    """
+
+    name = "rank"
+
+    def __init__(self, stranger_policy=None) -> None:
+        self.stranger_policy = stranger_policy
+
+    def allows(self, node: Optional[BarterCastNode], peer: PeerId) -> bool:
+        return True
+
+    def order_optimistic(
+        self,
+        node: Optional[BarterCastNode],
+        interested: List[PeerId],
+        rng: RngStream,
+    ) -> List[PeerId]:
+        if node is None:
+            return rng.shuffled(interested)
+        shuffled = rng.shuffled(interested)
+        shuffled.sort(key=lambda p: -self._reputation(node, p))
+        return shuffled
+
+
+class BanPolicy(ReputationPolicy):
+    """No upload slots for peers below the threshold δ.
+
+    Parameters
+    ----------
+    delta:
+        The (negative) reputation threshold; the paper evaluates
+        δ ∈ {−0.3, −0.5, −0.7} and finds −0.5 a good operating point.
+
+    Banned peers are also excluded from the optimistic rotation.  Among
+    allowed peers the optimistic order is uniform, as in plain BitTorrent
+    (the ban policy is evaluated separately from the rank policy in the
+    paper).
+    """
+
+    name = "ban"
+
+    def __init__(self, delta: float = -0.5, stranger_policy=None) -> None:
+        if not -1.0 <= delta <= 0.0:
+            raise ValueError(f"delta must be in [-1, 0], got {delta}")
+        self.delta = float(delta)
+        self.stranger_policy = stranger_policy
+
+    def allows(self, node: Optional[BarterCastNode], peer: PeerId) -> bool:
+        if node is None:
+            return True
+        return self._reputation(node, peer) >= self.delta
+
+    def order_optimistic(
+        self,
+        node: Optional[BarterCastNode],
+        interested: List[PeerId],
+        rng: RngStream,
+    ) -> List[PeerId]:
+        allowed = [p for p in interested if self.allows(node, p)]
+        return rng.shuffled(allowed)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BanPolicy delta={self.delta}>"

@@ -1,0 +1,198 @@
+"""The subjective shared history.
+
+Stores the claims a peer has received from other peers via BarterCast
+messages and materializes them, together with the owner's private history,
+into the subjective local :class:`~repro.graph.transfer_graph.TransferGraph`
+that feeds the maxflow reputation.
+
+Claim semantics
+---------------
+A record from reporter *r* about counterparty *c* asserts two directed
+totals: ``r → c`` (r's claimed upload to c) and ``c → r`` (r's claimed
+download from c).  For any ordered pair ``(x, y)`` there can thus be up to
+two independent claims — one by *x* ("I uploaded U to y") and one by *y*
+("I downloaded D from x").  The store keeps both and materializes the edge
+as the **maximum** of the live claims: totals only grow over time, so the
+larger claim is the fresher information when both parties are honest, and
+when they disagree the maxflow bound (not edge arbitration) is the paper's
+defense against inflation.
+
+Two hard rules protect the owner:
+
+* records *about the owner* (counterparty == owner) are ignored — edges
+  incident to the owner come exclusively from its own private history;
+* records *sent by the owner itself* are rejected (a node never gossips to
+  itself).
+
+Supersede semantics: a reporter's newer message replaces its older claims
+about the same counterparty (records carry totals, not deltas).  Stale
+messages — older than the newest already seen from that reporter about that
+counterparty — are dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterator, Optional, Tuple
+
+from repro.core.messages import BarterCastMessage, HistoryRecord
+from repro.graph.transfer_graph import TransferGraph
+
+__all__ = ["SubjectiveSharedHistory"]
+
+PeerId = Hashable
+
+
+@dataclass
+class _Claim:
+    """A reporter's latest claim about one directed edge."""
+
+    value: float
+    reported_at: float
+
+
+class SubjectiveSharedHistory:
+    """Accumulates third-party claims and maintains the subjective graph.
+
+    Parameters
+    ----------
+    owner:
+        The peer that owns this view.
+    graph:
+        The transfer graph to maintain.  Edges incident to ``owner`` are
+        never written by this class (they belong to the private history).
+
+    Notes
+    -----
+    The class maintains, for every directed pair ``(x, y)`` with
+    ``owner ∉ {x, y}``, a small dict of claims keyed by reporter.  Edge
+    materialization takes the max over live claims and writes it through to
+    ``graph`` incrementally, so reputation queries never trigger a full
+    rebuild.
+    """
+
+    def __init__(self, owner: PeerId, graph: TransferGraph) -> None:
+        self.owner = owner
+        self._graph = graph
+        # (src, dst) -> {reporter: _Claim}
+        self._claims: Dict[Tuple[PeerId, PeerId], Dict[PeerId, _Claim]] = {}
+        self._messages_seen = 0
+        self._records_applied = 0
+        self._records_dropped = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def messages_seen(self) -> int:
+        """Number of messages ingested (including fully-stale ones)."""
+        return self._messages_seen
+
+    @property
+    def records_applied(self) -> int:
+        """Number of records that changed the view."""
+        return self._records_applied
+
+    @property
+    def records_dropped(self) -> int:
+        """Number of records dropped (stale, malformed, or about the owner)."""
+        return self._records_dropped
+
+    # ------------------------------------------------------------------
+    def ingest(self, message: BarterCastMessage) -> int:
+        """Apply a received message; returns the number of records applied.
+
+        Raises
+        ------
+        ValueError
+            If the message claims to be from the owner itself.
+        """
+        if message.sender == self.owner:
+            raise ValueError("a node cannot ingest its own message")
+        self._messages_seen += 1
+        applied = 0
+        sane = message.sane_records()
+        self._records_dropped += message.num_records - len(sane)
+        for record in sane:
+            if self._apply_record(message.sender, record, message.created_at):
+                applied += 1
+            else:
+                self._records_dropped += 1
+        return applied
+
+    def _apply_record(
+        self, reporter: PeerId, record: HistoryRecord, reported_at: float
+    ) -> bool:
+        c = record.counterparty
+        if c == self.owner or reporter == self.owner:
+            # Edges incident to the owner come from the private history only.
+            return False
+        changed = False
+        # reporter -> counterparty: reporter's claimed upload.
+        if self._update_claim((reporter, c), reporter, record.uploaded, reported_at):
+            changed = True
+        # counterparty -> reporter: reporter's claimed download.
+        if self._update_claim((c, reporter), reporter, record.downloaded, reported_at):
+            changed = True
+        if changed:
+            self._records_applied += 1
+        return changed
+
+    def _update_claim(
+        self,
+        edge: Tuple[PeerId, PeerId],
+        reporter: PeerId,
+        value: float,
+        reported_at: float,
+    ) -> bool:
+        claims = self._claims.setdefault(edge, {})
+        existing = claims.get(reporter)
+        if existing is not None and existing.reported_at > reported_at:
+            return False  # stale
+        if existing is not None and existing.value == value:
+            existing.reported_at = reported_at
+            return False  # no change
+        claims[reporter] = _Claim(value=float(value), reported_at=float(reported_at))
+        self._materialize(edge)
+        return True
+
+    def _materialize(self, edge: Tuple[PeerId, PeerId]) -> None:
+        claims = self._claims.get(edge, {})
+        value = max((c.value for c in claims.values()), default=0.0)
+        self._graph.set_transfer(edge[0], edge[1], value)
+
+    # ------------------------------------------------------------------
+    def claimed(self, src: PeerId, dst: PeerId) -> float:
+        """The materialized claim for edge ``(src, dst)`` (0 if none)."""
+        return self._graph.capacity(src, dst)
+
+    def claim_of(self, reporter: PeerId, src: PeerId, dst: PeerId) -> Optional[float]:
+        """``reporter``'s own live claim about edge ``(src, dst)``, if any."""
+        claims = self._claims.get((src, dst))
+        if claims is None:
+            return None
+        claim = claims.get(reporter)
+        return None if claim is None else claim.value
+
+    def known_edges(self) -> Iterator[Tuple[PeerId, PeerId]]:
+        """Directed pairs for which at least one claim is stored."""
+        return iter(self._claims)
+
+    def forget_reporter(self, reporter: PeerId) -> int:
+        """Drop all claims made by ``reporter``; returns how many edges changed.
+
+        Used by failure-injection tests and by future eviction policies.
+        """
+        changed = 0
+        for edge, claims in list(self._claims.items()):
+            if reporter in claims:
+                del claims[reporter]
+                self._materialize(edge)
+                changed += 1
+                if not claims:
+                    del self._claims[edge]
+        return changed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SubjectiveSharedHistory owner={self.owner!r} "
+            f"edges={len(self._claims)} msgs={self._messages_seen}>"
+        )

@@ -1,0 +1,30 @@
+"""Deployment substrate: a synthetic Tribler-like network and a
+measurement crawl.
+
+The paper's Figure 4 reports one month of live deployment: a customized
+Tribler peer logged every BarterCast message it received, saw ~5000 peers,
+and plotted (a) their upload − download and (b) the CDF of their
+reputations *as computed by that peer*.  The live network is obviously not
+available, so this subpackage builds the closest synthetic equivalent (see
+DESIGN.md §4):
+
+* :mod:`repro.deployment.network` generates a ~5000-peer population with
+  heavy-tailed contribution imbalance (a majority that downloaded more
+  than it uploaded, a cluster of just-installed peers at exactly zero, and
+  a small multi-gigabyte altruist tail) and a *consistent* pairwise
+  transfer graph realizing those totals;
+* :mod:`repro.deployment.crawl` runs the measurement: peers gossip their
+  (honest) BarterCast messages to an instrumented measurement peer for 30
+  simulated days, and the measurement peer computes every seen peer's
+  reputation with the production code path.
+"""
+
+from repro.deployment.network import DeploymentNetwork, DeploymentParams
+from repro.deployment.crawl import CrawlResult, MeasurementCrawl
+
+__all__ = [
+    "DeploymentNetwork",
+    "DeploymentParams",
+    "MeasurementCrawl",
+    "CrawlResult",
+]

@@ -1,0 +1,50 @@
+"""Experiment drivers: one module per figure of the paper.
+
+Each driver builds its scenario, runs the simulator(s), and returns a
+result dataclass carrying exactly the series the paper plots; the
+:mod:`repro.experiments.report` helpers render those series as tables and
+ASCII charts for terminal inspection and for EXPERIMENTS.md.
+
+Profiles: every driver accepts a :class:`~repro.experiments.scenario
+.ScenarioConfig`; ``ScenarioConfig.paper()`` matches the paper's setup
+(100 peers, 10 swarms, one week) and ``ScenarioConfig.fast()`` is a
+scaled-down profile used by tests and the benchmark harness (the shapes —
+who wins, crossover ordering — hold in both; see EXPERIMENTS.md).
+"""
+
+from repro.experiments.scenario import ScenarioConfig, build_simulation
+from repro.experiments.fig1 import Fig1Result, run_fig1
+from repro.experiments.fig2 import Fig2Result, run_fig2
+from repro.experiments.fig3 import Fig3Result, run_fig3
+from repro.experiments.fig4 import Fig4Result, run_fig4
+from repro.experiments.whitewash import (
+    WhitewashParams,
+    WhitewashResult,
+    run_whitewash,
+)
+from repro.experiments.scalability import (
+    ScalabilityPoint,
+    ScalabilityResult,
+    run_scalability,
+)
+from repro.experiments import report
+
+__all__ = [
+    "ScenarioConfig",
+    "build_simulation",
+    "Fig1Result",
+    "run_fig1",
+    "Fig2Result",
+    "run_fig2",
+    "Fig3Result",
+    "run_fig3",
+    "Fig4Result",
+    "run_fig4",
+    "WhitewashParams",
+    "WhitewashResult",
+    "run_whitewash",
+    "ScalabilityPoint",
+    "ScalabilityResult",
+    "run_scalability",
+    "report",
+]

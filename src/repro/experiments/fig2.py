@@ -1,0 +1,134 @@
+"""Figure 2: effectiveness of the rank and ban policies.
+
+(a) Average download speed of sharers vs freeriders under the **rank**
+policy; (b) the same under the **ban** policy with δ = −0.5; (c) the
+freerider speed under the ban policy for δ ∈ {−0.3, −0.5, −0.7}.
+
+The paper's qualitative findings, which the reproduction tracks:
+
+* freeriders are *faster* during the first day(s) — they spend no uplink
+  on seeding, so all of it feeds their tit-for-tat;
+* both policies eventually invert the order; at the end of the week
+  freeriders reach ~75 % of sharer speed under rank and ~50 % under ban
+  (δ = −0.5) — ban is clearly superior;
+* the δ = −0.3 vs −0.5 gap is smaller than the −0.5 vs −0.7 gap.
+
+All runs share one trace and one role split (same scenario seed), so
+policy comparisons are paired.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.timeseries import bin_series
+from repro.core.policies import BanPolicy, RankPolicy
+from repro.experiments.scenario import ScenarioConfig, build_simulation
+
+__all__ = ["Fig2Result", "run_fig2", "speed_series_kbps"]
+
+DAY = 86400.0
+KB = 1024.0
+
+
+def speed_series_kbps(
+    stats, peers: Sequence[int], cumulative: bool = True
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Average download speed (KBps) of a peer group, per day.
+
+    With ``cumulative=True`` (default) each day's value is the running
+    average up to that day — total bytes downloaded so far over total
+    leech time so far — which is how the paper's smooth Figure 2 curves
+    behave.  ``cumulative=False`` gives the noisier per-day-bucket mean.
+    """
+    rows = [stats.index[p] for p in peers]
+    if not rows:
+        n_days = int(np.ceil(stats.duration / DAY))
+        nan = np.full(n_days, np.nan)
+        return np.arange(n_days) + 0.5, nan
+    if cumulative:
+        down = stats.downloaded[rows].sum(axis=0).cumsum()
+        time = stats.leech_time[rows].sum(axis=0).cumsum()
+        with np.errstate(invalid="ignore", divide="ignore"):
+            speed = np.where(time > 0, down / np.maximum(time, 1e-12), np.nan)
+        days, means = bin_series(
+            stats.bucket_times(), speed, DAY, t_max=stats.duration
+        )
+        return days / DAY, means / KB
+    per_bucket = stats.group_speed_series(peers)
+    days, means = bin_series(stats.bucket_times(), per_bucket, DAY, t_max=stats.duration)
+    return days / DAY, means / KB
+
+
+@dataclass
+class Fig2Result:
+    """Series for all three panels of Figure 2.
+
+    ``rank`` and ``ban`` map group name ("sharers"/"freeriders") to a
+    day-binned KBps series; ``delta_sweep`` maps each δ to the freerider
+    series under ``BanPolicy(δ)``.
+    """
+
+    days: np.ndarray
+    rank: Dict[str, np.ndarray]
+    ban: Dict[str, np.ndarray]
+    ban_delta: float
+    delta_sweep: Dict[float, np.ndarray]
+
+    def final_ratio(self, policy: str) -> float:
+        """Final-day freerider/sharer speed ratio for ``"rank"`` or
+        ``"ban"`` (the paper: ~0.75 for rank, ~0.5 for ban)."""
+        series = self.rank if policy == "rank" else self.ban
+        sharer = series["sharers"]
+        freerider = series["freeriders"]
+        valid = ~(np.isnan(sharer) | np.isnan(freerider))
+        if not valid.any():
+            return float("nan")
+        idx = np.flatnonzero(valid)[-1]
+        if sharer[idx] == 0:
+            return float("nan")
+        return float(freerider[idx] / sharer[idx])
+
+
+def run_fig2(
+    scenario: ScenarioConfig = None,
+    deltas: Sequence[float] = (-0.3, -0.5, -0.7),
+    ban_delta: float = -0.5,
+) -> Fig2Result:
+    """Run all Figure 2 conditions (rank, ban, δ sweep) on one population."""
+    if scenario is None:
+        scenario = ScenarioConfig.fast()
+    if ban_delta not in deltas:
+        deltas = tuple(deltas) + (ban_delta,)
+
+    results: Dict[str, Dict[str, np.ndarray]] = {}
+    days_axis: np.ndarray = np.empty(0)
+    delta_sweep: Dict[float, np.ndarray] = {}
+
+    # Rank policy run.
+    sim = build_simulation(scenario, policy=RankPolicy())
+    stats = sim.run()
+    days_axis, sharer = speed_series_kbps(stats, sim.roles.sharers)
+    _, freerider = speed_series_kbps(stats, sim.roles.freeriders)
+    results["rank"] = {"sharers": sharer, "freeriders": freerider}
+
+    # Ban policy runs (one per delta; δ = ban_delta doubles as panel b).
+    for delta in deltas:
+        sim = build_simulation(scenario, policy=BanPolicy(delta))
+        stats = sim.run()
+        _, sharer = speed_series_kbps(stats, sim.roles.sharers)
+        _, freerider = speed_series_kbps(stats, sim.roles.freeriders)
+        delta_sweep[delta] = freerider
+        if delta == ban_delta:
+            results["ban"] = {"sharers": sharer, "freeriders": freerider}
+
+    return Fig2Result(
+        days=days_axis,
+        rank=results["rank"],
+        ban=results["ban"],
+        ban_delta=ban_delta,
+        delta_sweep=delta_sweep,
+    )

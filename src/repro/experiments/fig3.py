@@ -1,0 +1,93 @@
+"""Figure 3: disobeying the message protocol.
+
+The paper varies the fraction of peers that disobey BarterCast's message
+protocol — drawn from the freerider half, at most 50 % of the population —
+under the ban policy with δ = −0.5, and plots the average download speed
+of sharers and freeriders against that fraction:
+
+(a) **ignorers** (send no messages at all): effectiveness barely changes —
+the sharers' banning decisions rest on information from other sharers and
+from obeying freeriders;
+
+(b) **selfish liars** (claim huge uploads, zero downloads): effectiveness
+degrades as the lying fraction grows, but the protocol remains effective
+below roughly 18 % liars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.policies import BanPolicy
+from repro.experiments.scenario import ScenarioConfig, build_simulation
+
+__all__ = ["Fig3Result", "run_fig3"]
+
+KB = 1024.0
+
+
+@dataclass
+class Fig3Result:
+    """Speeds as a function of the disobeying-peer percentage.
+
+    Attributes
+    ----------
+    kind:
+        ``"ignore"`` (panel a) or ``"lie"`` (panel b).
+    percentages:
+        Disobeying-peer percentages swept.
+    sharer_speed_kbps / freerider_speed_kbps:
+        Whole-run average download speed per group at each percentage.
+    """
+
+    kind: str
+    percentages: np.ndarray
+    sharer_speed_kbps: np.ndarray
+    freerider_speed_kbps: np.ndarray
+
+    def relative_freerider_speed(self) -> np.ndarray:
+        """Freerider speed as a fraction of sharer speed per percentage —
+        the effectiveness measure the paper discusses (lower = policy
+        still biting)."""
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return self.freerider_speed_kbps / self.sharer_speed_kbps
+
+
+def run_fig3(
+    scenario: ScenarioConfig = None,
+    kind: str = "ignore",
+    percentages: Sequence[float] = (0, 10, 20, 30, 40, 50),
+    delta: float = -0.5,
+) -> Fig3Result:
+    """Sweep the disobeying fraction for one manipulation kind."""
+    if kind not in ("ignore", "lie"):
+        raise ValueError(f"unknown manipulation kind {kind!r}")
+    if scenario is None:
+        scenario = ScenarioConfig.fast()
+    max_pct = scenario.freerider_fraction * 100.0
+    for pct in percentages:
+        if pct > max_pct + 1e-9:
+            raise ValueError(
+                f"{pct}% disobeying exceeds the freerider fraction ({max_pct}%)"
+            )
+    sharer_speeds: List[float] = []
+    freerider_speeds: List[float] = []
+    for pct in percentages:
+        sim = build_simulation(
+            scenario,
+            policy=BanPolicy(delta),
+            disobey_fraction=pct / 100.0,
+            disobey_kind=kind if pct > 0 else None,
+        )
+        stats = sim.run()
+        sharer_speeds.append(stats.group_mean_speed(sim.roles.sharers) / KB)
+        freerider_speeds.append(stats.group_mean_speed(sim.roles.freeriders) / KB)
+    return Fig3Result(
+        kind=kind,
+        percentages=np.asarray(percentages, dtype=float),
+        sharer_speed_kbps=np.asarray(sharer_speeds),
+        freerider_speed_kbps=np.asarray(freerider_speeds),
+    )

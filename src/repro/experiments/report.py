@@ -1,0 +1,149 @@
+"""Terminal reports: render each figure's series like the paper plots them."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.analysis.ascii_plot import ascii_chart, render_table
+from repro.experiments.fig1 import Fig1Result
+from repro.experiments.fig2 import Fig2Result
+from repro.experiments.fig3 import Fig3Result
+from repro.experiments.fig4 import Fig4Result
+
+__all__ = ["report_fig1", "report_fig2", "report_fig3", "report_fig4"]
+
+GB = 1024.0**3
+
+
+def report_fig1(result: Fig1Result) -> str:
+    """Figure 1: reputation divergence + contribution/reputation scatter."""
+    lines: List[str] = []
+    lines.append("== Figure 1(a): average system reputation over time ==")
+    rows = [
+        (float(t), float(s), float(f))
+        for t, s, f in zip(
+            result.times_days, result.sharer_reputation, result.freerider_reputation
+        )
+    ]
+    lines.append(render_table(["day", "sharers", "freeriders"], rows))
+    lines.append(
+        ascii_chart(
+            {
+                "sharers": result.sharer_reputation,
+                "freeriders": result.freerider_reputation,
+            },
+            y_label="avg system reputation",
+        )
+    )
+    lines.append(f"final separation (sharers - freeriders): {result.final_separation:.4f}")
+    lines.append("")
+    lines.append("== Figure 1(b): system reputation vs net contribution ==")
+    order = np.argsort(result.net_contribution_gb)
+    rows = [
+        (float(result.net_contribution_gb[i]), float(result.system_reputation[i]))
+        for i in order
+    ]
+    lines.append(render_table(["net contribution (GB)", "system reputation"], rows))
+    lines.append(
+        f"consistency: spearman={result.spearman:.3f} pearson={result.pearson:.3f}"
+    )
+    return "\n".join(lines)
+
+
+def report_fig2(result: Fig2Result) -> str:
+    """Figure 2: policy speed curves and the δ sweep."""
+    lines: List[str] = []
+    lines.append("== Figure 2(a): avg download speed (KBps), rank policy ==")
+    rows = [
+        (float(d), float(s), float(f))
+        for d, s, f in zip(result.days, result.rank["sharers"], result.rank["freeriders"])
+    ]
+    lines.append(render_table(["day", "sharers", "freeriders"], rows, "{:.1f}"))
+    lines.append(
+        f"final freerider/sharer speed ratio: {result.final_ratio('rank'):.2f}"
+        "  (paper: ~0.75)"
+    )
+    lines.append("")
+    lines.append(
+        f"== Figure 2(b): avg download speed (KBps), ban policy (delta={result.ban_delta}) =="
+    )
+    rows = [
+        (float(d), float(s), float(f))
+        for d, s, f in zip(result.days, result.ban["sharers"], result.ban["freeriders"])
+    ]
+    lines.append(render_table(["day", "sharers", "freeriders"], rows, "{:.1f}"))
+    lines.append(
+        f"final freerider/sharer speed ratio: {result.final_ratio('ban'):.2f}"
+        "  (paper: ~0.50)"
+    )
+    lines.append("")
+    lines.append("== Figure 2(c): freerider speed (KBps) for different delta ==")
+    deltas = sorted(result.delta_sweep)
+    headers = ["day"] + [f"d={d}" for d in deltas]
+    rows = []
+    for i, day in enumerate(result.days):
+        rows.append(
+            [float(day)] + [float(result.delta_sweep[d][i]) for d in deltas]
+        )
+    lines.append(render_table(headers, rows, "{:.1f}"))
+    return "\n".join(lines)
+
+
+def report_fig3(result: Fig3Result) -> str:
+    """Figure 3: speeds vs disobeying-peer percentage."""
+    label = "ignoring" if result.kind == "ignore" else "lying"
+    lines: List[str] = []
+    lines.append(f"== Figure 3({'a' if result.kind == 'ignore' else 'b'}): "
+                 f"avg download speed vs % of peers {label} ==")
+    rel = result.relative_freerider_speed()
+    rows = [
+        (float(p), float(s), float(f), float(r))
+        for p, s, f, r in zip(
+            result.percentages,
+            result.sharer_speed_kbps,
+            result.freerider_speed_kbps,
+            rel,
+        )
+    ]
+    lines.append(
+        render_table(
+            [f"% {label}", "sharers KBps", "freeriders KBps", "freerider/sharer"],
+            rows,
+            "{:.2f}",
+        )
+    )
+    return "\n".join(lines)
+
+
+def report_fig4(result: Fig4Result) -> str:
+    """Figure 4: deployment contribution imbalance + reputation CDF."""
+    lines: List[str] = []
+    lines.append("== Figure 4(a): upload - download of seen peers ==")
+    net = result.net_contribution
+    rows = [
+        ("peers seen", result.peers_seen),
+        ("messages logged", result.messages_logged),
+        ("fraction net-negative", float((net < 0).mean())),
+        ("fraction exactly zero", float((net == 0).mean())),
+        ("fraction net-positive", float((net > 0).mean())),
+        ("median net (MB)", float(np.median(net) / 1024**2)),
+        ("max altruist (GB)", result.max_altruist_gb),
+        ("min consumer (GB)", float(net.min() / GB)),
+    ]
+    lines.append(render_table(["statistic", "value"], rows))
+    lines.append("")
+    lines.append("== Figure 4(b): reputation CDF at the measurement peer ==")
+    grid = np.linspace(-1.0, 1.0, 21)
+    cdf_rows = []
+    for x in grid:
+        frac = float((result.reputation_values <= x).mean()) if result.reputation_values.size else float("nan")
+        cdf_rows.append((float(x), frac))
+    lines.append(render_table(["reputation", "cdf"], cdf_rows, "{:.3f}"))
+    f = result.fractions
+    lines.append(
+        f"fractions: negative={f['negative']:.2f} zero={f['zero']:.2f} "
+        f"positive={f['positive']:.2f}  (paper: ~0.40 / ~0.50 / ~0.10)"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,32 @@
+"""Transfer graphs and maxflow kernels.
+
+The BarterCast reputation of peer *j* at peer *i* is computed from maxflows
+on *i*'s subjective local graph, whose directed edge ``(a, b)`` carries the
+total number of bytes *a* is believed to have uploaded to *b*.
+
+Three maxflow kernels are provided (all in :mod:`repro.graph.maxflow`):
+
+* :func:`~repro.graph.maxflow.ford_fulkerson` — the paper's Algorithm 1,
+  classic Ford–Fulkerson with depth-first augmenting-path search;
+* :func:`~repro.graph.maxflow.bounded_ford_fulkerson` — the same algorithm
+  with augmenting paths restricted to at most ``max_hops`` edges;
+* :func:`~repro.graph.maxflow.maxflow_two_hop` — a closed-form O(degree)
+  evaluation of the 2-hop-bounded maxflow, which is what the deployed
+  BarterCast implementation uses.
+"""
+
+from repro.graph.transfer_graph import TransferGraph
+from repro.graph.maxflow import (
+    FlowResult,
+    bounded_ford_fulkerson,
+    ford_fulkerson,
+    maxflow_two_hop,
+)
+
+__all__ = [
+    "TransferGraph",
+    "FlowResult",
+    "ford_fulkerson",
+    "bounded_ford_fulkerson",
+    "maxflow_two_hop",
+]

@@ -1,0 +1,181 @@
+"""An epidemic peer-sampling service in the style of BuddyCast.
+
+Each peer maintains a bounded *partial view* — a set of peer ids it knows
+about, with the time each entry was last refreshed.  On its gossip tick a
+peer picks a random live contact from its view, and the pair *exchange
+views*: each merges the other's entries into its own view, evicting the
+stalest entries when the bound is exceeded.  New peers are bootstrapped
+with a handful of seed contacts (in Tribler: superpeer addresses shipped
+with the client).
+
+The class is deliberately simulator-facing: it is driven by explicit
+``tick(peer)`` calls from the community simulator (which owns the clock and
+the online/offline state) rather than scheduling its own events, so one PSS
+instance serves the whole simulated network.
+
+The PSS also answers the query BarterCast needs: ``sample(peer)`` returns a
+uniform-ish random *online* peer from the peer's current view, or ``None``
+if the view holds no live contacts.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Optional, Set
+
+from repro.sim.rng import RngStream
+
+__all__ = ["PeerSamplingService", "BuddyCastPSS", "OraclePSS"]
+
+PeerId = Hashable
+
+
+class PeerSamplingService:
+    """Interface: supply gossip partners to BarterCast."""
+
+    def register(self, peer: PeerId) -> None:
+        """Introduce ``peer`` to the service (bootstrap its view)."""
+        raise NotImplementedError
+
+    def tick(self, peer: PeerId, now: float) -> None:
+        """Run one PSS round for ``peer`` at time ``now`` (view exchange)."""
+        raise NotImplementedError
+
+    def sample(self, peer: PeerId) -> Optional[PeerId]:
+        """A random live contact for ``peer``, or ``None``."""
+        raise NotImplementedError
+
+    def view_of(self, peer: PeerId) -> List[PeerId]:
+        """The peer's current partial view (for inspection/tests)."""
+        raise NotImplementedError
+
+
+class BuddyCastPSS(PeerSamplingService):
+    """Bounded-partial-view epidemic sampler.
+
+    Parameters
+    ----------
+    is_online:
+        Callback ``peer -> bool`` supplied by the community simulator; the
+        PSS never hands out (or exchanges views with) offline peers.
+    rng:
+        Random stream for partner selection, bootstrap and eviction ties.
+    view_size:
+        Maximum entries per view (Tribler keeps O(100); default 30 —
+        comfortably above the 100-peer scenarios' gossip needs).
+    bootstrap_size:
+        Number of random known peers seeded into a newly registered view.
+    """
+
+    def __init__(
+        self,
+        is_online: Callable[[PeerId], bool],
+        rng: RngStream,
+        view_size: int = 30,
+        bootstrap_size: int = 5,
+    ) -> None:
+        if view_size < 1:
+            raise ValueError("view_size must be >= 1")
+        self._is_online = is_online
+        self._rng = rng
+        self.view_size = int(view_size)
+        self.bootstrap_size = int(bootstrap_size)
+        # peer -> {contact: freshness_time}
+        self._views: Dict[PeerId, Dict[PeerId, float]] = {}
+        self._all_peers: List[PeerId] = []
+        self._exchanges = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def exchanges(self) -> int:
+        """Total number of completed view exchanges."""
+        return self._exchanges
+
+    def register(self, peer: PeerId) -> None:
+        if peer in self._views:
+            return
+        self._views[peer] = {}
+        # Bootstrap: a few random already-known peers learn about the
+        # newcomer and vice versa (stand-in for superpeer introduction).
+        if self._all_peers:
+            for contact in self._rng.sample(self._all_peers, self.bootstrap_size):
+                self._views[peer][contact] = 0.0
+                self._insert(contact, peer, 0.0)
+        self._all_peers.append(peer)
+
+    def tick(self, peer: PeerId, now: float) -> None:
+        """One BuddyCast round: exchange views with a random live contact."""
+        if peer not in self._views or not self._is_online(peer):
+            return
+        partner = self.sample(peer)
+        if partner is None:
+            return
+        self._exchange(peer, partner, now)
+
+    def sample(self, peer: PeerId) -> Optional[PeerId]:
+        view = self._views.get(peer)
+        if not view:
+            return None
+        live = [c for c in view if c != peer and self._is_online(c)]
+        if not live:
+            return None
+        return self._rng.choice(live)
+
+    def view_of(self, peer: PeerId) -> List[PeerId]:
+        return list(self._views.get(peer, {}))
+
+    # ------------------------------------------------------------------
+    def _exchange(self, a: PeerId, b: PeerId, now: float) -> None:
+        """Symmetric view merge between ``a`` and ``b``."""
+        va, vb = self._views[a], self._views[b]
+        snapshot_a = list(va.items())
+        snapshot_b = list(vb.items())
+        self._insert(a, b, now)
+        self._insert(b, a, now)
+        for contact, fresh in snapshot_b:
+            if contact != a:
+                self._insert(a, contact, fresh)
+        for contact, fresh in snapshot_a:
+            if contact != b:
+                self._insert(b, contact, fresh)
+        self._exchanges += 1
+
+    def _insert(self, owner: PeerId, contact: PeerId, freshness: float) -> None:
+        view = self._views.setdefault(owner, {})
+        if contact in view:
+            view[contact] = max(view[contact], freshness)
+        else:
+            view[contact] = freshness
+            if len(view) > self.view_size:
+                stalest = min(view.items(), key=lambda kv: kv[1])[0]
+                del view[stalest]
+
+
+class OraclePSS(PeerSamplingService):
+    """Global-knowledge sampler: returns a uniform random online peer.
+
+    Used in ablations as the ideal PSS; real deployments approximate it
+    with epidemics like BuddyCast.
+    """
+
+    def __init__(self, is_online: Callable[[PeerId], bool], rng: RngStream) -> None:
+        self._is_online = is_online
+        self._rng = rng
+        self._peers: List[PeerId] = []
+        self._known: Set[PeerId] = set()
+
+    def register(self, peer: PeerId) -> None:
+        if peer not in self._known:
+            self._known.add(peer)
+            self._peers.append(peer)
+
+    def tick(self, peer: PeerId, now: float) -> None:
+        return  # nothing to maintain
+
+    def sample(self, peer: PeerId) -> Optional[PeerId]:
+        live = [p for p in self._peers if p != peer and self._is_online(p)]
+        if not live:
+            return None
+        return self._rng.choice(live)
+
+    def view_of(self, peer: PeerId) -> List[PeerId]:
+        return [p for p in self._peers if p != peer]

@@ -1,0 +1,101 @@
+"""Trace (de)serialization.
+
+Traces round-trip through a plain-JSON schema so that generated workloads
+can be archived next to experiment results and re-run bit-for-bit.  The
+schema is versioned; loading rejects unknown versions loudly rather than
+guessing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.traces.models import (
+    CommunityTrace,
+    FileRequest,
+    PeerProfile,
+    PeerSession,
+    SwarmSpec,
+)
+
+__all__ = ["save_trace", "load_trace", "trace_to_dict", "trace_from_dict"]
+
+SCHEMA_VERSION = 1
+
+
+def trace_to_dict(trace: CommunityTrace) -> dict:
+    """A JSON-serializable representation of ``trace``."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "duration": trace.duration,
+        "peers": [
+            {
+                "peer_id": p.peer_id,
+                "uplink_bps": p.uplink_bps,
+                "downlink_bps": p.downlink_bps,
+                "connectable": p.connectable,
+                "sessions": [[s.start, s.end] for s in p.sessions],
+            }
+            for p in trace.peers.values()
+        ],
+        "swarms": [
+            {
+                "swarm_id": s.swarm_id,
+                "file_size": s.file_size,
+                "piece_size": s.piece_size,
+                "origin_seeder": s.origin_seeder,
+            }
+            for s in trace.swarms.values()
+        ],
+        "requests": [[r.peer_id, r.swarm_id, r.time] for r in trace.requests],
+    }
+
+
+def trace_from_dict(data: dict) -> CommunityTrace:
+    """Inverse of :func:`trace_to_dict`; validates the result."""
+    version = data.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(f"unsupported trace schema version: {version!r}")
+    peers = {
+        int(p["peer_id"]): PeerProfile(
+            peer_id=int(p["peer_id"]),
+            uplink_bps=float(p["uplink_bps"]),
+            downlink_bps=float(p["downlink_bps"]),
+            connectable=bool(p["connectable"]),
+            sessions=[PeerSession(float(a), float(b)) for a, b in p["sessions"]],
+        )
+        for p in data["peers"]
+    }
+    swarms = {
+        int(s["swarm_id"]): SwarmSpec(
+            swarm_id=int(s["swarm_id"]),
+            file_size=float(s["file_size"]),
+            piece_size=float(s["piece_size"]),
+            origin_seeder=int(s["origin_seeder"]),
+        )
+        for s in data["swarms"]
+    }
+    requests = [
+        FileRequest(peer_id=int(p), swarm_id=int(s), time=float(t))
+        for p, s, t in data["requests"]
+    ]
+    trace = CommunityTrace(
+        duration=float(data["duration"]),
+        peers=peers,
+        swarms=swarms,
+        requests=requests,
+    )
+    trace.validate()
+    return trace
+
+
+def save_trace(trace: CommunityTrace, path: Union[str, Path]) -> None:
+    """Write ``trace`` to ``path`` as JSON."""
+    Path(path).write_text(json.dumps(trace_to_dict(trace)))
+
+
+def load_trace(path: Union[str, Path]) -> CommunityTrace:
+    """Read a trace previously written by :func:`save_trace`."""
+    return trace_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.transfer_graph import TransferGraph
+from repro.sim.rng import RngRegistry
+from repro.traces.models import DAY
+from repro.traces.synthetic import SyntheticTraceGenerator, TraceParams
+
+MB = 1024.0**2
+
+
+@pytest.fixture
+def rng():
+    """A deterministic RNG stream."""
+    return RngRegistry(1234).stream("test")
+
+
+@pytest.fixture
+def diamond_graph():
+    """A 4-node diamond: s -> {a, b} -> t plus a weak direct edge s -> t.
+
+    Exact maxflow s->t = min(3,2) via a? No: edges s->a=3, a->t=2,
+    s->b=1, b->t=4, s->t=0.5 giving maxflow = 2 + 1 + 0.5 = 3.5.
+    """
+    g = TransferGraph()
+    g.add_transfer("s", "a", 3.0)
+    g.add_transfer("a", "t", 2.0)
+    g.add_transfer("s", "b", 1.0)
+    g.add_transfer("b", "t", 4.0)
+    g.add_transfer("s", "t", 0.5)
+    return g
+
+
+@pytest.fixture
+def tiny_trace():
+    """A very small but structurally complete community trace."""
+    params = TraceParams(
+        num_peers=8,
+        num_swarms=2,
+        duration=0.5 * DAY,
+        min_file_size=20 * MB,
+        max_file_size=60 * MB,
+        target_pieces=32,
+        swarms_per_peer_mean=1.5,
+    )
+    return SyntheticTraceGenerator(params, seed=99).generate()

@@ -1,0 +1,87 @@
+"""Unit tests for adversarial message behaviours."""
+
+import pytest
+
+from repro.core.adversary import HonestBehavior, Ignorer, SelfishLiar
+from repro.core.node import BarterCastNode
+from repro.core.reputation import MB
+
+
+@pytest.fixture
+def busy_node():
+    n = BarterCastNode("liar")
+    n.record_download("v1", 100 * MB, now=1.0)
+    n.record_download("v2", 50 * MB, now=2.0)
+    n.record_upload("v3", 10 * MB, now=3.0)
+    return n
+
+
+class TestHonest:
+    def test_message_reflects_true_history(self, busy_node):
+        busy_node.behavior = HonestBehavior()
+        msg = busy_node.create_message(now=5.0)
+        recs = {r.counterparty: r for r in msg.records}
+        assert recs["v1"].downloaded == 100 * MB
+        assert recs["v1"].uploaded == 0.0
+        assert recs["v3"].uploaded == 10 * MB
+
+    def test_name(self):
+        assert HonestBehavior().name == "honest"
+
+
+class TestIgnorer:
+    def test_never_sends(self, busy_node):
+        busy_node.behavior = Ignorer()
+        assert busy_node.create_message(now=5.0) is None
+
+    def test_still_receives(self, busy_node):
+        from repro.core.messages import BarterCastMessage, HistoryRecord
+
+        busy_node.behavior = Ignorer()
+        msg = BarterCastMessage("r", 1.0, records=(HistoryRecord("c", 5.0, 1.0),))
+        assert busy_node.receive_message(msg) == 1
+
+    def test_name(self):
+        assert Ignorer().name == "ignore"
+
+
+class TestSelfishLiar:
+    def test_lies_are_huge_and_one_sided(self, busy_node):
+        busy_node.behavior = SelfishLiar()
+        msg = busy_node.create_message(now=5.0)
+        for r in msg.records:
+            assert r.uploaded >= 1e9
+            assert r.downloaded == 0.0
+
+    def test_counterparties_are_real(self, busy_node):
+        busy_node.behavior = SelfishLiar()
+        msg = busy_node.create_message(now=5.0)
+        parties = {r.counterparty for r in msg.records}
+        assert parties <= {"v1", "v2", "v3"}
+
+    def test_configurable_lie_size(self, busy_node):
+        busy_node.behavior = SelfishLiar(lie_upload_bytes=7.0)
+        msg = busy_node.create_message(now=5.0)
+        assert all(r.uploaded == 7.0 for r in msg.records)
+
+    def test_invalid_lie_size(self):
+        with pytest.raises(ValueError):
+            SelfishLiar(lie_upload_bytes=0.0)
+
+    def test_lie_cannot_inflate_beyond_maxflow_bound(self):
+        """End-to-end: a liar's claims at an evaluator are capped by the
+        evaluator's real incoming service (the paper's key property)."""
+        liar = BarterCastNode("liar", behavior=SelfishLiar())
+        evaluator = BarterCastNode("eva")
+        # The liar interacted with v (downloaded); it will lie about v.
+        liar.record_download("v", 10 * MB, now=1.0)
+        # The evaluator received only 20 MB of real service from v.
+        evaluator.record_download("v", 20 * MB, now=1.0)
+        msg = liar.create_message(now=2.0)
+        evaluator.receive_message(msg)
+        rep = evaluator.reputation_of("liar")
+        cap = evaluator.config.metric.scale(20 * MB)
+        assert rep <= cap + 1e-12
+
+    def test_name(self):
+        assert SelfishLiar().name == "lie"

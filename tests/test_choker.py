@@ -1,0 +1,178 @@
+"""Unit tests for the choker."""
+
+import pytest
+
+from repro.bittorrent.choker import interested_candidates, select_unchokes
+from repro.bittorrent.config import BitTorrentConfig
+from repro.bittorrent.swarm import SwarmState
+from repro.core.node import BarterCastNode
+from repro.core.policies import BanPolicy, NoPolicy, RankPolicy
+from repro.core.reputation import MB
+from repro.sim.rng import RngRegistry
+from repro.traces.models import SwarmSpec
+
+
+@pytest.fixture
+def rng():
+    return RngRegistry(3).stream("choke")
+
+
+@pytest.fixture
+def config():
+    return BitTorrentConfig(round_interval=10.0, regular_slots=2, optimistic_interval=30.0)
+
+
+def make_swarm(num_leechers=4, seeder_id=100):
+    swarm = SwarmState(SwarmSpec(0, file_size=100.0, piece_size=10.0, origin_seeder=seeder_id))
+    swarm.join(seeder_id, now=0.0, complete=True)
+    for pid in range(num_leechers):
+        swarm.join(pid, now=0.0)
+    return swarm
+
+
+ALWAYS_ONLINE = lambda pid: True
+ALWAYS_CONNECT = lambda a, b: True
+
+
+class TestInterestedCandidates:
+    def test_seeder_sees_all_leechers(self):
+        swarm = make_swarm(3)
+        seeder = swarm.members[100]
+        cands = interested_candidates(swarm, seeder, ALWAYS_ONLINE, ALWAYS_CONNECT)
+        assert set(cands) == {0, 1, 2}
+
+    def test_empty_leecher_attracts_no_interest(self):
+        swarm = make_swarm(3)
+        leecher = swarm.members[0]  # has no pieces
+        assert interested_candidates(swarm, leecher, ALWAYS_ONLINE, ALWAYS_CONNECT) == []
+
+    def test_offline_peers_excluded(self):
+        swarm = make_swarm(3)
+        seeder = swarm.members[100]
+        cands = interested_candidates(swarm, seeder, lambda p: p != 1, ALWAYS_CONNECT)
+        assert set(cands) == {0, 2}
+
+    def test_unconnectable_pairs_excluded(self):
+        swarm = make_swarm(3)
+        seeder = swarm.members[100]
+        cands = interested_candidates(
+            swarm, seeder, ALWAYS_ONLINE, lambda a, b: b != 2
+        )
+        assert set(cands) == {0, 1}
+
+    def test_other_seeders_not_interested(self):
+        swarm = make_swarm(2)
+        swarm.join(200, now=0.0, complete=True)
+        seeder = swarm.members[100]
+        cands = interested_candidates(swarm, seeder, ALWAYS_ONLINE, ALWAYS_CONNECT)
+        assert 200 not in cands
+
+
+class TestSelectUnchokes:
+    def test_seeder_unchokes_up_to_slots_plus_optimistic(self, rng, config):
+        swarm = make_swarm(6)
+        seeder = swarm.members[100]
+        unchoked = select_unchokes(
+            swarm, seeder, policy=NoPolicy(), node=None, rng=rng, round_idx=1,
+            config=config, is_online=ALWAYS_ONLINE, can_connect=ALWAYS_CONNECT,
+        )
+        assert len(unchoked) == config.regular_slots + 1
+
+    def test_no_candidates_no_unchokes(self, rng, config):
+        swarm = make_swarm(0)
+        seeder = swarm.members[100]
+        unchoked = select_unchokes(
+            swarm, seeder, policy=NoPolicy(), node=None, rng=rng, round_idx=1,
+            config=config, is_online=ALWAYS_ONLINE, can_connect=ALWAYS_CONNECT,
+        )
+        assert unchoked == set()
+
+    def test_tit_for_tat_prefers_reciprocators(self, rng, config):
+        swarm = make_swarm(5)
+        leecher = swarm.members[0]
+        leecher.bitfield.add(0)  # has something to offer
+        leecher.received_last_round = {1: 1000.0, 2: 500.0, 3: 50.0}
+        unchoked = select_unchokes(
+            swarm, leecher, policy=NoPolicy(), node=None, rng=rng, round_idx=1,
+            config=config, is_online=ALWAYS_ONLINE, can_connect=ALWAYS_CONNECT,
+        )
+        assert {1, 2} <= unchoked  # the top-2 reciprocators hold regular slots
+
+    def test_seeder_prefers_fastest_downloaders(self, rng, config):
+        swarm = make_swarm(5)
+        seeder = swarm.members[100]
+        seeder.sent_last_round = {4: 9000.0, 3: 8000.0}
+        unchoked = select_unchokes(
+            swarm, seeder, policy=NoPolicy(), node=None, rng=rng, round_idx=1,
+            config=config, is_online=ALWAYS_ONLINE, can_connect=ALWAYS_CONNECT,
+        )
+        assert {3, 4} <= unchoked
+
+    def test_optimistic_persists_between_rotations(self, rng, config):
+        swarm = make_swarm(8)
+        seeder = swarm.members[100]
+        # Pin the regular slots so the optimistic target cannot be absorbed
+        # into them by a tie-break shuffle between rounds.
+        seeder.sent_last_round = {6: 9000.0, 7: 8000.0}
+        select_unchokes(
+            swarm, seeder, policy=NoPolicy(), node=None, rng=rng, round_idx=1,
+            config=config, is_online=ALWAYS_ONLINE, can_connect=ALWAYS_CONNECT,
+        )
+        first = seeder.optimistic_peer
+        select_unchokes(
+            swarm, seeder, policy=NoPolicy(), node=None, rng=rng, round_idx=2,
+            config=config, is_online=ALWAYS_ONLINE, can_connect=ALWAYS_CONNECT,
+        )
+        # Rotation period is 3 rounds (30s / 10s): unchanged at round 2.
+        assert seeder.optimistic_peer == first
+
+    def test_optimistic_rotates_after_interval(self, rng, config):
+        swarm = make_swarm(8)
+        seeder = swarm.members[100]
+        choices = set()
+        for round_idx in range(1, 40):
+            select_unchokes(
+                swarm, seeder, policy=NoPolicy(), node=None, rng=rng,
+                round_idx=round_idx, config=config,
+                is_online=ALWAYS_ONLINE, can_connect=ALWAYS_CONNECT,
+            )
+            choices.add(seeder.optimistic_peer)
+        assert len(choices) >= 3  # rotates over the population
+
+    def test_ban_policy_excludes_banned(self, rng, config):
+        swarm = make_swarm(4)
+        seeder = swarm.members[100]
+        node = BarterCastNode(100)
+        node.record_upload(0, 900 * MB, now=1.0)  # peer 0 deep in debt
+        unchoked = select_unchokes(
+            swarm, seeder, policy=BanPolicy(-0.5), node=node, rng=rng, round_idx=1,
+            config=config, is_online=ALWAYS_ONLINE, can_connect=ALWAYS_CONNECT,
+        )
+        assert 0 not in unchoked
+
+    def test_rank_policy_optimistic_prefers_reputation(self, rng, config):
+        swarm = make_swarm(4)
+        seeder = swarm.members[100]
+        node = BarterCastNode(100)
+        node.record_download(2, 900 * MB, now=1.0)  # peer 2 served us a lot
+        # No tit-for-tat signal: all ranks equal, optimistic slot decides.
+        cfg = BitTorrentConfig(round_interval=10.0, regular_slots=0, optimistic_interval=30.0)
+        unchoked = select_unchokes(
+            swarm, seeder, policy=RankPolicy(), node=node, rng=rng, round_idx=1,
+            config=cfg, is_online=ALWAYS_ONLINE, can_connect=ALWAYS_CONNECT,
+        )
+        assert unchoked == {2}
+
+    def test_offline_optimistic_target_replaced(self, rng, config):
+        swarm = make_swarm(4)
+        seeder = swarm.members[100]
+        select_unchokes(
+            swarm, seeder, policy=NoPolicy(), node=None, rng=rng, round_idx=1,
+            config=config, is_online=ALWAYS_ONLINE, can_connect=ALWAYS_CONNECT,
+        )
+        target = seeder.optimistic_peer
+        unchoked = select_unchokes(
+            swarm, seeder, policy=NoPolicy(), node=None, rng=rng, round_idx=2,
+            config=config, is_online=lambda p: p != target, can_connect=ALWAYS_CONNECT,
+        )
+        assert target not in unchoked

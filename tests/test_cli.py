@@ -1,0 +1,73 @@
+"""Tests for the command-line interface.
+
+The CLI drives full experiments; to keep these tests fast we monkeypatch
+the scenario lookup so ``--profile fast`` resolves to the tiny profile.
+"""
+
+import pytest
+
+from repro import cli
+from repro.experiments import ScenarioConfig
+
+
+@pytest.fixture(autouse=True)
+def tiny_profiles(monkeypatch):
+    monkeypatch.setattr(
+        ScenarioConfig,
+        "named",
+        classmethod(lambda cls, profile, seed=42: ScenarioConfig.tiny(seed)),
+    )
+
+
+class TestCli:
+    def test_fig1_runs(self, capsys):
+        assert cli.main(["fig1", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1(a)" in out
+
+    def test_fig2_runs(self, capsys):
+        assert cli.main(["fig2", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2(b)" in out
+
+    def test_fig3_single_kind(self, capsys):
+        assert cli.main(["fig3", "--kind", "ignore", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3(a)" in out
+        assert "Figure 3(b)" not in out
+
+    def test_fig4_runs(self, capsys):
+        assert cli.main(["fig4", "--peers", "300", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4(b)" in out
+
+    def test_unknown_command_exits(self):
+        with pytest.raises(SystemExit):
+            cli.main(["figure99"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            cli.main([])
+
+
+class TestNewSubcommands:
+    def test_whitewash_runs(self, capsys):
+        assert cli.main(["whitewash", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Whitewashing defenses" in out
+        assert "adaptive" in out
+
+    def test_scalability_runs(self, capsys):
+        assert cli.main(["scalability", "--peers", "2000", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Scalability" in out
+        assert "query growth factor" in out
+
+    def test_fig1_export(self, capsys, tmp_path):
+        target = tmp_path / "series"
+        assert cli.main(["fig1", "--seed", "3", "--export", str(target)]) == 0
+        files = sorted(p.name for p in target.iterdir())
+        assert files == [
+            "fig1a_reputation_over_time.tsv",
+            "fig1b_contribution_vs_reputation.tsv",
+        ]

@@ -1,0 +1,120 @@
+"""Security tests: collusion and sybil-style attacks on the gossip layer.
+
+The paper deliberately does not target die-hard cheating, but its maxflow
+argument makes a concrete promise: *the value of maxflow(j, i) is always
+constrained by i's incoming edges*, which come only from i's own private
+history.  These tests exercise that promise against stronger adversaries
+than Figure 3's lone liars: rings of colluding identities that cross-vouch
+arbitrarily large fake transfers.
+"""
+
+import pytest
+
+from repro.core.messages import BarterCastMessage, HistoryRecord
+from repro.core.node import BarterCastNode
+from repro.core.reputation import MB
+
+HUGE = 1e15
+
+
+def ring_messages(members, t0=0.0):
+    """Every ring member claims huge uploads to every other member."""
+    messages = []
+    for i, sender in enumerate(members):
+        records = tuple(
+            HistoryRecord(counterparty=other, uploaded=HUGE, downloaded=0.0)
+            for other in members
+            if other != sender
+        )
+        messages.append(BarterCastMessage(sender=sender, created_at=t0 + i, records=records))
+    return messages
+
+
+class TestCollusionRing:
+    def test_isolated_ring_earns_nothing(self):
+        """A ring with no real edges to the evaluator stays at reputation 0:
+        fake internal volume creates no path into the evaluator."""
+        evaluator = BarterCastNode("eva")
+        ring = [f"sybil{i}" for i in range(5)]
+        for message in ring_messages(ring):
+            evaluator.receive_message(message)
+        for member in ring:
+            assert evaluator.reputation_of(member) == 0.0
+
+    def test_ring_credit_capped_by_single_real_edge(self):
+        """If one ring member really uploaded x to the evaluator, the whole
+        ring's reputations are capped by scale(x) — the bottleneck edge."""
+        evaluator = BarterCastNode("eva")
+        ring = [f"sybil{i}" for i in range(5)]
+        real = 30 * MB
+        evaluator.record_download(ring[0], real, now=1.0)
+        for message in ring_messages(ring, t0=2.0):
+            evaluator.receive_message(message)
+        cap = evaluator.config.metric.scale(real)
+        for member in ring:
+            assert evaluator.reputation_of(member) <= cap + 1e-12
+
+    def test_ring_cannot_whitewash_a_debtor(self):
+        """A ring member that really consumed from the evaluator keeps a
+        negative reputation despite unlimited fake vouching."""
+        evaluator = BarterCastNode("eva")
+        ring = [f"sybil{i}" for i in range(4)]
+        debtor = ring[0]
+        evaluator.record_upload(debtor, 900 * MB, now=1.0)
+        for message in ring_messages(ring, t0=2.0):
+            evaluator.receive_message(message)
+        # Ring vouching creates no path debtor -> evaluator (nobody the
+        # evaluator downloaded from vouches), so the debt stands.
+        assert evaluator.reputation_of(debtor) < -0.5
+
+    def test_ring_laundering_through_real_intermediary_is_bottlenecked(self):
+        """Sybils routing credit through a peer that really served the
+        evaluator gain at most that peer's real service — once, not per
+        sybil... in fact the shared bottleneck caps each sybil identically,
+        and no amplification of total credit beyond the real edge occurs
+        per evaluation."""
+        evaluator = BarterCastNode("eva")
+        evaluator.record_download("relay", 50 * MB, now=1.0)
+        sybils = [f"sybil{i}" for i in range(6)]
+        for i, sybil in enumerate(sybils):
+            message = BarterCastMessage(
+                sender=sybil,
+                created_at=2.0 + i,
+                records=(HistoryRecord("relay", uploaded=HUGE, downloaded=0.0),),
+            )
+            evaluator.receive_message(message)
+        cap = evaluator.config.metric.scale(50 * MB)
+        for sybil in sybils:
+            assert 0.0 < evaluator.reputation_of(sybil) <= cap + 1e-12
+
+    def test_victim_smearing_is_bounded_by_attacker_credibility(self):
+        """An attacker claiming huge uploads *to a victim* can push the
+        victim's reputation down only as far as the evaluator's real
+        outgoing service can carry flow toward the victim."""
+        evaluator = BarterCastNode("eva")
+        victim = "victim"
+        # The evaluator's only real outgoing edge: 20 MB to the attacker.
+        evaluator.record_upload("attacker", 20 * MB, now=1.0)
+        smear = BarterCastMessage(
+            sender="attacker",
+            created_at=2.0,
+            records=(HistoryRecord(victim, uploaded=HUGE, downloaded=0.0),),
+        )
+        evaluator.receive_message(smear)
+        # maxflow(eva -> victim) <= 20 MB, so the smear is bounded:
+        floor = -evaluator.config.metric.scale(20 * MB)
+        assert evaluator.reputation_of(victim) >= floor - 1e-12
+        assert evaluator.reputation_of(victim) < 0.0  # the smear does bite
+
+    def test_self_promotion_rejected_outright(self):
+        """Records about the evaluator itself are ignored; a node cannot be
+        made to believe it received service it never saw."""
+        evaluator = BarterCastNode("eva")
+        msg = BarterCastMessage(
+            sender="attacker",
+            created_at=1.0,
+            records=(HistoryRecord("eva", uploaded=HUGE, downloaded=0.0),),
+        )
+        applied = evaluator.receive_message(msg)
+        assert applied == 0
+        assert evaluator.graph.capacity("attacker", "eva") == 0.0

@@ -1,0 +1,110 @@
+"""Unit and integration tests for the deployment substrate (Figure 4)."""
+
+import numpy as np
+import pytest
+
+from repro.deployment.crawl import MeasurementCrawl
+from repro.deployment.network import DeploymentNetwork, DeploymentParams
+
+GB = 1024.0**3
+
+
+@pytest.fixture(scope="module")
+def network():
+    return DeploymentNetwork(DeploymentParams(num_peers=600), seed=9)
+
+
+@pytest.fixture(scope="module")
+def crawl_result(network):
+    return MeasurementCrawl(network, seed=9).run()
+
+
+class TestNetworkGeneration:
+    def test_population_size(self, network):
+        assert len(network.peer_ids) == 600
+        assert network.measurement_id == 600
+
+    def test_edge_consistency_with_totals(self, network):
+        # Totals = edge volume + external download; uploads come only from edges.
+        up = {pid: 0.0 for pid in network.uploaded}
+        for (src, dst), w in network.edges.items():
+            up[src] += w
+        for pid in network.peer_ids:
+            assert network.uploaded[pid] == pytest.approx(up[pid])
+            assert network.downloaded[pid] >= 0.0
+
+    def test_fresh_peers_have_zero_transfers(self, network):
+        fresh = [p for p, c in network.classes.items() if c == "fresh"]
+        assert fresh, "expected some fresh installs"
+        for pid in fresh:
+            assert network.uploaded[pid] == 0.0
+            assert network.downloaded[pid] == 0.0
+            assert network.net_contribution(pid) == 0.0
+
+    def test_majority_net_negative(self, network):
+        nets = np.array([network.net_contribution(p) for p in network.peer_ids])
+        assert (nets < 0).mean() > 0.5
+
+    def test_altruists_reach_multi_gb(self, network):
+        nets = np.array([network.net_contribution(p) for p in network.peer_ids])
+        assert nets.max() > 4 * GB
+
+    def test_histories_consistent_with_edges(self, network):
+        # Spot-check: each edge appears in both endpoint ledgers.
+        for (src, dst), w in list(network.edges.items())[:200]:
+            assert network.histories[src].get(dst).uploaded == pytest.approx(w)
+            assert network.histories[dst].get(src).downloaded == pytest.approx(w)
+
+    def test_deterministic(self):
+        n1 = DeploymentNetwork(DeploymentParams(num_peers=100), seed=4)
+        n2 = DeploymentNetwork(DeploymentParams(num_peers=100), seed=4)
+        assert n1.edges == n2.edges
+
+    def test_param_validation(self):
+        with pytest.raises(ValueError):
+            DeploymentParams(num_peers=5).validate()
+        with pytest.raises(ValueError):
+            DeploymentParams(fresh_fraction=1.2).validate()
+        with pytest.raises(ValueError):
+            DeploymentParams(fresh_fraction=0.8, altruist_fraction=0.3).validate()
+        with pytest.raises(ValueError):
+            DeploymentParams(measurement_partner_fraction=0.0).validate()
+
+
+class TestCrawl:
+    def test_sees_most_of_population(self, network, crawl_result):
+        assert len(crawl_result.seen_peers) > 0.8 * len(network.peer_ids)
+
+    def test_messages_logged(self, crawl_result):
+        assert crawl_result.messages_logged > 0
+
+    def test_reputations_in_range(self, crawl_result):
+        for rep in crawl_result.reputation.values():
+            assert -1.0 < rep < 1.0
+
+    def test_fraction_split_sums_to_one(self, crawl_result):
+        f = crawl_result.reputation_cdf_fractions()
+        assert f["negative"] + f["zero"] + f["positive"] == pytest.approx(1.0)
+
+    def test_paper_shape_negative_majority_of_nonzero(self, crawl_result):
+        f = crawl_result.reputation_cdf_fractions()
+        assert f["negative"] > f["positive"]
+        assert f["zero"] > 0.2
+
+    def test_fresh_peers_reputation_zero(self, network, crawl_result):
+        fresh = [p for p, c in network.classes.items() if c == "fresh"]
+        seen_fresh = [p for p in fresh if p in crawl_result.reputation]
+        assert seen_fresh
+        for pid in seen_fresh:
+            assert crawl_result.reputation[pid] == 0.0
+
+    def test_crawl_param_validation(self, network):
+        with pytest.raises(ValueError):
+            MeasurementCrawl(network, duration_days=0.0)
+        with pytest.raises(ValueError):
+            MeasurementCrawl(network, contacts_mean=-1.0)
+
+    def test_crawl_deterministic(self, network):
+        r1 = MeasurementCrawl(network, seed=2).run()
+        r2 = MeasurementCrawl(network, seed=2).run()
+        assert r1.reputation == r2.reputation

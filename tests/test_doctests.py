@@ -1,0 +1,27 @@
+"""Run the package's embedded doctests as part of the suite."""
+
+import doctest
+
+import pytest
+
+import repro.core.reputation
+import repro.graph.transfer_graph
+import repro.sim.engine
+import repro.sim.rng
+import repro.traces.synthetic
+
+MODULES = [
+    repro.sim.engine,
+    repro.sim.rng,
+    repro.graph.transfer_graph,
+    repro.core.reputation,
+    repro.traces.synthetic,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0
+    # Every module in this list is expected to actually carry examples.
+    assert results.attempted > 0

@@ -1,0 +1,147 @@
+"""Unit tests for the BarterCast node."""
+
+import pytest
+
+from repro.core.adversary import Ignorer, SelfishLiar
+from repro.core.messages import BarterCastMessage, HistoryRecord
+from repro.core.node import BarterCastConfig, BarterCastNode
+from repro.core.reputation import MB, ReputationMetric
+
+
+class TestTransferAccounting:
+    def test_upload_updates_history_and_graph(self):
+        n = BarterCastNode("me")
+        n.record_upload("p", 100.0, now=1.0)
+        assert n.history.get("p").uploaded == 100.0
+        assert n.graph.capacity("me", "p") == 100.0
+
+    def test_download_updates_history_and_graph(self):
+        n = BarterCastNode("me")
+        n.record_download("p", 60.0, now=1.0)
+        assert n.graph.capacity("p", "me") == 60.0
+
+    def test_accumulation_reflected_in_graph(self):
+        n = BarterCastNode("me")
+        n.record_upload("p", 100.0, now=1.0)
+        n.record_upload("p", 20.0, now=2.0)
+        assert n.graph.capacity("me", "p") == 120.0
+
+    def test_note_seen_self_ignored(self):
+        n = BarterCastNode("me")
+        n.note_seen("me", 5.0)  # no exception, no record
+        assert len(n.history) == 0
+
+
+class TestGossip:
+    def test_honest_message_carries_history(self):
+        n = BarterCastNode("me")
+        n.record_download("p", 100.0, now=1.0)
+        msg = n.create_message(now=2.0)
+        assert msg is not None
+        assert msg.sender == "me"
+        parties = [r.counterparty for r in msg.records]
+        assert parties == ["p"]
+        assert n.messages_sent == 1
+
+    def test_receive_message_builds_graph(self):
+        n = BarterCastNode("me")
+        msg = BarterCastMessage("r", 1.0, records=(HistoryRecord("c", 10.0, 3.0),))
+        applied = n.receive_message(msg)
+        assert applied == 1
+        assert n.graph.capacity("r", "c") == 10.0
+        assert n.messages_received == 1
+
+    def test_own_message_rejected(self):
+        n = BarterCastNode("me")
+        msg = BarterCastMessage("me", 1.0)
+        with pytest.raises(ValueError):
+            n.receive_message(msg)
+
+    def test_private_history_beats_gossip_about_self(self):
+        n = BarterCastNode("me")
+        n.record_upload("r", 50.0, now=1.0)
+        # r claims me->r was enormous; the claim must not override the
+        # node's own private history.
+        msg = BarterCastMessage("r", 2.0, records=(HistoryRecord("me", 0.0, 1e15),))
+        n.receive_message(msg)
+        assert n.graph.capacity("me", "r") == 50.0
+
+
+class TestReputation:
+    def test_direct_reputation(self):
+        n = BarterCastNode("me")
+        n.record_download("p", 200 * MB, now=1.0)
+        assert n.reputation_of("p") > 0.5
+
+    def test_self_reputation_rejected(self):
+        n = BarterCastNode("me")
+        with pytest.raises(ValueError):
+            n.reputation_of("me")
+
+    def test_cache_invalidated_on_graph_change(self):
+        n = BarterCastNode("me")
+        n.record_download("p", 100 * MB, now=1.0)
+        r1 = n.reputation_of("p")
+        n.record_upload("p", 300 * MB, now=2.0)
+        r2 = n.reputation_of("p")
+        assert r2 < r1
+
+    def test_cache_returns_same_value_without_changes(self):
+        n = BarterCastNode("me")
+        n.record_download("p", 100 * MB, now=1.0)
+        assert n.reputation_of("p") == n.reputation_of("p")
+
+    def test_reputations_of_batch(self):
+        n = BarterCastNode("me")
+        n.record_download("a", 100 * MB, now=1.0)
+        n.record_upload("b", 100 * MB, now=1.0)
+        reps = n.reputations_of(["a", "b", "me"])
+        assert set(reps) == {"a", "b"}
+        assert reps["a"] > 0 > reps["b"]
+
+    def test_rank_by_reputation(self):
+        n = BarterCastNode("me")
+        n.record_download("good", 500 * MB, now=1.0)
+        n.record_upload("bad", 500 * MB, now=1.0)
+        n.graph.add_node("stranger")
+        ranked = n.rank_by_reputation(["bad", "stranger", "good"])
+        assert ranked == ["good", "stranger", "bad"]
+
+    def test_rank_excludes_self(self):
+        n = BarterCastNode("me")
+        assert n.rank_by_reputation(["me"]) == []
+
+    def test_known_peers_counts_graph_nodes(self):
+        n = BarterCastNode("me")
+        assert n.known_peers == 1  # self
+        n.record_upload("p", 1.0, now=0.0)
+        assert n.known_peers == 2
+
+
+class TestBehaviors:
+    def test_ignorer_sends_nothing(self):
+        n = BarterCastNode("me", behavior=Ignorer())
+        n.record_download("p", 100.0, now=1.0)
+        assert n.create_message(now=2.0) is None
+        assert n.messages_sent == 0
+
+    def test_liar_fabricates_uploads(self):
+        n = BarterCastNode("me", behavior=SelfishLiar(lie_upload_bytes=1e12))
+        n.record_download("p", 100.0, now=1.0)
+        msg = n.create_message(now=2.0)
+        assert msg is not None
+        assert all(r.uploaded == 1e12 and r.downloaded == 0.0 for r in msg.records)
+
+    def test_liar_with_empty_history_sends_nothing(self):
+        n = BarterCastNode("me", behavior=SelfishLiar())
+        assert n.create_message(now=1.0) is None
+
+    def test_config_controls_selection_size(self):
+        cfg = BarterCastConfig(n_highest=1, n_recent=1)
+        n = BarterCastNode("me", config=cfg)
+        for i in range(5):
+            n.record_download(f"p{i}", 100.0 * (i + 1), now=float(i))
+        msg = n.create_message(now=10.0)
+        # 1 top uploader (p4) + 1 most recent (p4, deduped) = 1 record.
+        assert msg.num_records == 1
+        assert msg.records[0].counterparty == "p4"

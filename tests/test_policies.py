@@ -1,0 +1,105 @@
+"""Unit tests for the reputation policies."""
+
+import pytest
+
+from repro.core.node import BarterCastNode
+from repro.core.policies import BanPolicy, NoPolicy, RankPolicy
+from repro.core.reputation import MB
+from repro.sim.rng import RngRegistry
+
+
+@pytest.fixture
+def rng():
+    return RngRegistry(5).stream("policy")
+
+
+@pytest.fixture
+def node():
+    """A node that loves 'good', hates 'bad', ignores 'stranger'."""
+    n = BarterCastNode("me")
+    n.record_download("good", 800 * MB, now=1.0)
+    n.record_upload("bad", 800 * MB, now=1.0)
+    n.graph.add_node("stranger")
+    return n
+
+
+class TestNoPolicy:
+    def test_allows_everyone(self, node):
+        p = NoPolicy()
+        assert p.allows(node, "bad")
+        assert p.allows(None, "anyone")
+
+    def test_order_is_permutation(self, node, rng):
+        p = NoPolicy()
+        order = p.order_optimistic(node, ["a", "b", "c"], rng)
+        assert sorted(order) == ["a", "b", "c"]
+
+    def test_name(self):
+        assert NoPolicy().name == "none"
+
+
+class TestRankPolicy:
+    def test_allows_everyone(self, node):
+        assert RankPolicy().allows(node, "bad")
+
+    def test_orders_by_reputation(self, node, rng):
+        p = RankPolicy()
+        order = p.order_optimistic(node, ["bad", "stranger", "good"], rng)
+        assert order == ["good", "stranger", "bad"]
+
+    def test_without_node_random_permutation(self, rng):
+        p = RankPolicy()
+        order = p.order_optimistic(None, ["a", "b"], rng)
+        assert sorted(order) == ["a", "b"]
+
+    def test_empty_candidates(self, node, rng):
+        assert RankPolicy().order_optimistic(node, [], rng) == []
+
+    def test_ties_eventually_rotate(self, node, rng):
+        # Strangers tie at reputation 0; the shuffle should produce both
+        # orders across repeated rotations.
+        node.graph.add_node("s2")
+        p = RankPolicy()
+        firsts = {
+            p.order_optimistic(node, ["stranger", "s2"], rng)[0] for _ in range(50)
+        }
+        assert firsts == {"stranger", "s2"}
+
+
+class TestBanPolicy:
+    def test_bans_below_delta(self, node):
+        p = BanPolicy(delta=-0.5)
+        assert not p.allows(node, "bad")
+        assert p.allows(node, "good")
+        assert p.allows(node, "stranger")  # newcomers are not banned
+
+    def test_threshold_inclusive(self, node):
+        # reputation exactly at delta is allowed (>= delta).
+        p = BanPolicy(delta=node.reputation_of("bad"))
+        assert p.allows(node, "bad")
+
+    def test_without_node_allows(self):
+        assert BanPolicy(-0.5).allows(None, "x")
+
+    def test_banned_excluded_from_optimistic(self, node, rng):
+        p = BanPolicy(delta=-0.5)
+        order = p.order_optimistic(node, ["bad", "good", "stranger"], rng)
+        assert "bad" not in order
+        assert set(order) == {"good", "stranger"}
+
+    def test_delta_validation(self):
+        with pytest.raises(ValueError):
+            BanPolicy(delta=0.5)
+        with pytest.raises(ValueError):
+            BanPolicy(delta=-1.5)
+        BanPolicy(delta=0.0)
+        BanPolicy(delta=-1.0)
+
+    def test_stricter_delta_bans_less(self, node):
+        """A more negative delta is *more lenient* (harder to cross)."""
+        mild = BanPolicy(delta=-0.3)
+        strict_threshold = BanPolicy(delta=-0.95)
+        assert not mild.allows(node, "bad")
+        # -0.95 is beyond what 800 MB imbalance produces: still allowed.
+        assert node.reputation_of("bad") > -0.95
+        assert strict_threshold.allows(node, "bad")

@@ -1,0 +1,92 @@
+"""Unit tests for role assignment."""
+
+import pytest
+
+from repro.bittorrent.roles import Role, RoleAssignment
+from repro.core.adversary import HonestBehavior, Ignorer, SelfishLiar
+
+
+class TestSplit:
+    def test_fractions_respected(self, tiny_trace):
+        roles = RoleAssignment.split(tiny_trace, freerider_fraction=0.5, seed=1)
+        subjects = roles.subjects
+        assert len(roles.freeriders) == round(0.5 * len(subjects))
+        assert len(roles.sharers) + len(roles.freeriders) == len(subjects)
+
+    def test_origin_seeders_get_origin_role(self, tiny_trace):
+        roles = RoleAssignment.split(tiny_trace, seed=1)
+        origin_ids = {s.origin_seeder for s in tiny_trace.swarms.values()}
+        for pid in origin_ids:
+            assert roles.role_of(pid) == Role.ORIGIN
+        assert not set(roles.subjects) & origin_ids
+
+    def test_deterministic(self, tiny_trace):
+        r1 = RoleAssignment.split(tiny_trace, seed=7)
+        r2 = RoleAssignment.split(tiny_trace, seed=7)
+        assert r1.roles == r2.roles
+
+    def test_seed_changes_split(self, tiny_trace):
+        r1 = RoleAssignment.split(tiny_trace, seed=7)
+        r2 = RoleAssignment.split(tiny_trace, seed=8)
+        assert r1.freeriders != r2.freeriders
+
+    def test_all_freeriders(self, tiny_trace):
+        roles = RoleAssignment.split(tiny_trace, freerider_fraction=1.0, seed=1)
+        assert roles.sharers == []
+
+    def test_no_freeriders(self, tiny_trace):
+        roles = RoleAssignment.split(tiny_trace, freerider_fraction=0.0, seed=1)
+        assert roles.freeriders == []
+
+    def test_invalid_fraction(self, tiny_trace):
+        with pytest.raises(ValueError):
+            RoleAssignment.split(tiny_trace, freerider_fraction=1.5)
+
+
+class TestDisobedience:
+    def test_disobeying_drawn_from_freeriders(self, tiny_trace):
+        roles = RoleAssignment.split(
+            tiny_trace, freerider_fraction=0.5, seed=1,
+            disobey_fraction=0.25, disobey_kind="lie",
+        )
+        freeriders = set(roles.freeriders)
+        for pid in roles.behaviors:
+            assert pid in freeriders
+            assert isinstance(roles.behaviors[pid], SelfishLiar)
+
+    def test_ignore_kind(self, tiny_trace):
+        roles = RoleAssignment.split(
+            tiny_trace, freerider_fraction=0.5, seed=1,
+            disobey_fraction=0.25, disobey_kind="ignore",
+        )
+        assert all(isinstance(b, Ignorer) for b in roles.behaviors.values())
+
+    def test_default_behavior_honest(self, tiny_trace):
+        roles = RoleAssignment.split(tiny_trace, seed=1)
+        pid = roles.subjects[0]
+        assert isinstance(roles.behavior_of(pid), HonestBehavior)
+
+    def test_disobey_exceeding_freeriders_rejected(self, tiny_trace):
+        with pytest.raises(ValueError):
+            RoleAssignment.split(
+                tiny_trace, freerider_fraction=0.3, seed=1,
+                disobey_fraction=0.5, disobey_kind="lie",
+            )
+
+    def test_unknown_kind_rejected(self, tiny_trace):
+        with pytest.raises(ValueError):
+            RoleAssignment.split(
+                tiny_trace, seed=1, disobey_fraction=0.2, disobey_kind="sabotage"
+            )
+
+    def test_zero_disobey_no_behaviors(self, tiny_trace):
+        roles = RoleAssignment.split(tiny_trace, seed=1, disobey_fraction=0.0)
+        assert roles.behaviors == {}
+
+    def test_count_matches_fraction_of_subjects(self, tiny_trace):
+        roles = RoleAssignment.split(
+            tiny_trace, freerider_fraction=0.5, seed=1,
+            disobey_fraction=0.5, disobey_kind="lie",
+        )
+        subjects = len(roles.subjects)
+        assert len(roles.behaviors) == min(round(0.5 * subjects), len(roles.freeriders))

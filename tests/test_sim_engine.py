@@ -1,0 +1,207 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim.engine import Event, SimulationError, Simulator
+
+
+class TestScheduling:
+    def test_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_custom_start_time(self):
+        assert Simulator(start_time=5.0).now == 5.0
+
+    def test_schedule_relative(self):
+        sim = Simulator()
+        ev = sim.schedule(3.0, lambda: None)
+        assert ev.time == 3.0
+
+    def test_schedule_absolute(self):
+        sim = Simulator(start_time=10.0)
+        ev = sim.schedule_at(12.0, lambda: None)
+        assert ev.time == 12.0
+
+    def test_schedule_in_past_raises(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(9.0, lambda: None)
+
+    def test_schedule_negative_delay_raises(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_nonfinite_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(float("inf"), lambda: None)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(float("nan"), lambda: None)
+
+    def test_schedule_at_current_time_allowed(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule_at(0.0, lambda: fired.append(True))
+        sim.run()
+        assert fired == [True]
+
+
+class TestExecution:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(5.0, lambda: order.append("late"))
+        sim.schedule(1.0, lambda: order.append("early"))
+        sim.run()
+        assert order == ["early", "late"]
+
+    def test_equal_times_fire_in_insertion_order(self):
+        sim = Simulator()
+        order = []
+        for i in range(10):
+            sim.schedule(1.0, lambda i=i: order.append(i))
+        sim.run()
+        assert order == list(range(10))
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(7.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [7.5]
+        assert sim.now == 7.5
+
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(10))
+        sim.run_until(5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+
+    def test_run_until_advances_clock_even_with_empty_queue(self):
+        sim = Simulator()
+        sim.run_until(100.0)
+        assert sim.now == 100.0
+
+    def test_run_until_backwards_raises(self):
+        sim = Simulator(start_time=10.0)
+        with pytest.raises(SimulationError):
+            sim.run_until(5.0)
+
+    def test_run_until_boundary_inclusive(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append(True))
+        sim.run_until(5.0)
+        assert fired == [True]
+
+    def test_events_scheduled_during_run_fire(self):
+        sim = Simulator()
+        order = []
+
+        def first():
+            order.append("first")
+            sim.schedule(1.0, lambda: order.append("second"))
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert order == ["first", "second"]
+
+    def test_max_events_limit(self):
+        sim = Simulator()
+        fired = []
+        for i in range(5):
+            sim.schedule(float(i + 1), lambda i=i: fired.append(i))
+        sim.run(max_events=3)
+        assert fired == [0, 1, 2]
+
+    def test_step_fires_one_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(2.0, lambda: fired.append(2))
+        assert sim.step() is True
+        assert fired == [1]
+
+    def test_step_on_empty_queue_returns_false(self):
+        assert Simulator().step() is False
+
+    def test_events_fired_counter(self):
+        sim = Simulator()
+        for i in range(4):
+            sim.schedule(float(i + 1), lambda: None)
+        sim.run()
+        assert sim.events_fired == 4
+
+    def test_run_returns_count(self):
+        sim = Simulator()
+        for i in range(3):
+            sim.schedule(float(i + 1), lambda: None)
+        assert sim.run() == 3
+
+    def test_reentrant_run_raises(self):
+        sim = Simulator()
+        errors = []
+
+        def reenter():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.schedule(1.0, reenter)
+        sim.run()
+        assert len(errors) == 1
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        ev = sim.schedule(1.0, lambda: fired.append(True))
+        ev.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancelled_flag(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        assert not ev.cancelled
+        ev.cancel()
+        assert ev.cancelled
+
+    def test_len_excludes_cancelled(self):
+        sim = Simulator()
+        ev1 = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert len(sim) == 2
+        ev1.cancel()
+        assert len(sim) == 1
+
+    def test_peek_time_skips_cancelled(self):
+        sim = Simulator()
+        ev1 = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        ev1.cancel()
+        assert sim.peek_time() == 2.0
+
+    def test_peek_time_empty(self):
+        assert Simulator().peek_time() is None
+
+    def test_cancel_during_run(self):
+        sim = Simulator()
+        fired = []
+        ev2 = sim.schedule(2.0, lambda: fired.append(2))
+        sim.schedule(1.0, lambda: ev2.cancel())
+        sim.run()
+        assert fired == []
+
+    def test_pending_iterates_live_events(self):
+        sim = Simulator()
+        ev1 = sim.schedule(1.0, lambda: None, label="a")
+        sim.schedule(2.0, lambda: None, label="b")
+        ev1.cancel()
+        labels = [ev.label for ev in sim.pending()]
+        assert labels == ["b"]

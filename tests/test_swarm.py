@@ -1,0 +1,88 @@
+"""Unit tests for swarm state."""
+
+import numpy as np
+import pytest
+
+from repro.bittorrent.swarm import SwarmState
+from repro.traces.models import SwarmSpec
+
+
+@pytest.fixture
+def swarm():
+    return SwarmState(SwarmSpec(swarm_id=0, file_size=100.0, piece_size=10.0, origin_seeder=99))
+
+
+class TestMembership:
+    def test_join_leecher(self, swarm):
+        m = swarm.join(1, now=5.0)
+        assert m.is_leecher
+        assert m.joined_at == 5.0
+        assert m.completed_at is None
+        assert swarm.is_member(1)
+
+    def test_join_seeder_counts_availability(self, swarm):
+        swarm.join(99, now=0.0, complete=True)
+        assert (swarm.availability == 1).all()
+        assert swarm.members[99].is_seeder
+        assert swarm.members[99].completed_at == 0.0
+
+    def test_join_idempotent(self, swarm):
+        m1 = swarm.join(1, now=5.0)
+        m2 = swarm.join(1, now=9.0)
+        assert m1 is m2
+        assert m1.joined_at == 5.0
+
+    def test_leave_removes_availability(self, swarm):
+        swarm.join(99, now=0.0, complete=True)
+        swarm.leave(99)
+        assert (swarm.availability == 0).all()
+        assert not swarm.is_member(99)
+
+    def test_leave_absent_noop(self, swarm):
+        swarm.leave(42)
+
+    def test_leave_partial_member(self, swarm):
+        m = swarm.join(1, now=0.0)
+        swarm.grant_pieces(m, np.array([0, 3]), now=1.0)
+        swarm.leave(1)
+        assert swarm.availability[0] == 0
+        assert swarm.availability[3] == 0
+
+
+class TestPieces:
+    def test_grant_updates_availability(self, swarm):
+        m = swarm.join(1, now=0.0)
+        finished = swarm.grant_pieces(m, np.array([0, 1]), now=1.0)
+        assert not finished
+        assert swarm.availability[0] == 1
+        assert m.bitfield.num_have == 2
+
+    def test_grant_completion(self, swarm):
+        m = swarm.join(1, now=0.0)
+        finished = swarm.grant_pieces(m, np.arange(10), now=7.0)
+        assert finished
+        assert m.completed_at == 7.0
+        assert swarm.completions == 1
+
+    def test_completion_fires_once(self, swarm):
+        m = swarm.join(1, now=0.0)
+        swarm.grant_pieces(m, np.arange(10), now=7.0)
+        again = swarm.grant_pieces(m, np.arange(10), now=8.0)
+        assert not again
+        assert swarm.completions == 1
+        assert m.completed_at == 7.0
+
+    def test_leechers_and_seeders_views(self, swarm):
+        swarm.join(99, now=0.0, complete=True)
+        swarm.join(1, now=0.0)
+        assert [m.peer_id for m in swarm.seeders()] == [99]
+        assert [m.peer_id for m in swarm.leechers()] == [1]
+
+    def test_clear_in_flight(self, swarm):
+        m = swarm.join(1, now=0.0)
+        m.in_flight[2] = True
+        swarm.clear_in_flight()
+        assert not m.in_flight.any()
+
+    def test_num_pieces_matches_spec(self, swarm):
+        assert swarm.num_pieces == 10

@@ -1,0 +1,173 @@
+"""Unit tests for the transfer graph."""
+
+import pytest
+
+from repro.graph.transfer_graph import TransferGraph
+
+
+class TestMutation:
+    def test_empty_graph(self):
+        g = TransferGraph()
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+        assert g.total_bytes == 0.0
+
+    def test_add_transfer_creates_nodes_and_edge(self):
+        g = TransferGraph()
+        g.add_transfer("a", "b", 100.0)
+        assert g.has_node("a") and g.has_node("b")
+        assert g.capacity("a", "b") == 100.0
+        assert g.num_edges == 1
+
+    def test_add_transfer_accumulates(self):
+        g = TransferGraph()
+        g.add_transfer("a", "b", 100.0)
+        g.add_transfer("a", "b", 50.0)
+        assert g.capacity("a", "b") == 150.0
+        assert g.num_edges == 1
+
+    def test_directionality(self):
+        g = TransferGraph()
+        g.add_transfer("a", "b", 100.0)
+        assert g.capacity("b", "a") == 0.0
+
+    def test_zero_transfer_creates_nodes_only(self):
+        g = TransferGraph()
+        g.add_transfer("a", "b", 0.0)
+        assert g.has_node("a") and g.has_node("b")
+        assert g.num_edges == 0
+
+    def test_negative_transfer_rejected(self):
+        g = TransferGraph()
+        with pytest.raises(ValueError):
+            g.add_transfer("a", "b", -1.0)
+
+    def test_self_transfer_rejected(self):
+        g = TransferGraph()
+        with pytest.raises(ValueError):
+            g.add_transfer("a", "a", 5.0)
+
+    def test_set_transfer_overwrites(self):
+        g = TransferGraph()
+        g.add_transfer("a", "b", 100.0)
+        g.set_transfer("a", "b", 30.0)
+        assert g.capacity("a", "b") == 30.0
+
+    def test_set_transfer_to_zero_removes_edge(self):
+        g = TransferGraph()
+        g.add_transfer("a", "b", 100.0)
+        g.set_transfer("a", "b", 0.0)
+        assert g.num_edges == 0
+        assert g.capacity("a", "b") == 0.0
+
+    def test_set_transfer_negative_rejected(self):
+        g = TransferGraph()
+        with pytest.raises(ValueError):
+            g.set_transfer("a", "b", -5.0)
+
+    def test_total_bytes_tracks_set_and_add(self):
+        g = TransferGraph()
+        g.add_transfer("a", "b", 100.0)
+        g.add_transfer("b", "c", 50.0)
+        g.set_transfer("a", "b", 10.0)
+        assert g.total_bytes == 60.0
+
+    def test_add_node_idempotent(self):
+        g = TransferGraph()
+        g.add_node("x")
+        g.add_node("x")
+        assert g.num_nodes == 1
+
+    def test_remove_node_drops_incident_edges(self):
+        g = TransferGraph()
+        g.add_transfer("a", "b", 10.0)
+        g.add_transfer("b", "c", 20.0)
+        g.add_transfer("c", "a", 5.0)
+        g.remove_node("b")
+        assert not g.has_node("b")
+        assert g.num_edges == 1
+        assert g.capacity("c", "a") == 5.0
+        assert g.total_bytes == 5.0
+
+    def test_remove_absent_node_noop(self):
+        g = TransferGraph()
+        g.remove_node("ghost")
+        assert g.num_nodes == 0
+
+    def test_version_bumps_on_mutation(self):
+        g = TransferGraph()
+        v0 = g.version
+        g.add_transfer("a", "b", 1.0)
+        v1 = g.version
+        assert v1 > v0
+        g.set_transfer("a", "b", 2.0)
+        assert g.version > v1
+
+
+class TestQueries:
+    @pytest.fixture
+    def g(self):
+        g = TransferGraph()
+        g.add_transfer("a", "b", 10.0)
+        g.add_transfer("a", "c", 20.0)
+        g.add_transfer("b", "c", 5.0)
+        return g
+
+    def test_successors(self, g):
+        assert dict(g.successors("a")) == {"b": 10.0, "c": 20.0}
+
+    def test_predecessors(self, g):
+        assert dict(g.predecessors("c")) == {"a": 20.0, "b": 5.0}
+
+    def test_unknown_node_neighbourhoods_empty(self, g):
+        assert dict(g.successors("zzz")) == {}
+        assert dict(g.predecessors("zzz")) == {}
+
+    def test_degrees(self, g):
+        assert g.out_degree("a") == 2
+        assert g.in_degree("c") == 2
+        assert g.in_degree("a") == 0
+
+    def test_net_flow(self, g):
+        assert g.net_flow("a") == 30.0
+        assert g.net_flow("c") == -25.0
+        assert g.net_flow("b") == -5.0
+
+    def test_edges_iteration(self, g):
+        edges = set(g.edges())
+        assert edges == {("a", "b", 10.0), ("a", "c", 20.0), ("b", "c", 5.0)}
+
+    def test_contains(self, g):
+        assert "a" in g
+        assert "zzz" not in g
+
+    def test_nodes_iteration(self, g):
+        assert set(g.nodes()) == {"a", "b", "c"}
+
+
+class TestInterop:
+    def test_copy_is_deep(self):
+        g = TransferGraph()
+        g.add_transfer("a", "b", 10.0)
+        h = g.copy()
+        h.add_transfer("a", "b", 5.0)
+        assert g.capacity("a", "b") == 10.0
+        assert h.capacity("a", "b") == 15.0
+
+    def test_dict_round_trip(self):
+        g = TransferGraph()
+        g.add_transfer("a", "b", 10.0)
+        g.add_node("lonely")
+        h = TransferGraph.from_dict(g.to_dict())
+        assert set(h.nodes()) == set(g.nodes())
+        assert set(h.edges()) == set(g.edges())
+
+    def test_from_edges(self):
+        g = TransferGraph.from_edges([("a", "b", 1.0), ("b", "c", 2.0)])
+        assert g.num_edges == 2
+
+    def test_to_networkx(self):
+        g = TransferGraph()
+        g.add_transfer("a", "b", 10.0)
+        nxg = g.to_networkx()
+        assert nxg.edges["a", "b"]["capacity"] == 10.0
