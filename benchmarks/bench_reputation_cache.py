@@ -1,0 +1,215 @@
+"""Choke-round-shaped reputation-engine benchmark.
+
+The workload interleaves gossip ingestion with batch candidate ranking —
+exactly what a BarterCast peer does between choke rounds: every round a
+handful of BarterCast messages land (each touching a few far-away edges of
+the subjective graph), then the rank/ban policy scores the same swarm's
+candidate list.
+
+Four engine variants run the identical workload (same messages, same
+candidates, same order):
+
+* ``wholesale_scalar`` — the pre-incremental baseline: version-keyed
+  full cache clears + one scalar kernel call per candidate;
+* ``wholesale_batch`` — full clears, but misses evaluated in one batched
+  kernel pass;
+* ``dirty_scalar`` — event-driven dirty-set invalidation, scalar misses;
+* ``dirty_batch`` — dirty sets + batched misses (the shipped default).
+
+Every variant must produce bit-identical reputations every round; the
+headline number is the wholesale_scalar / dirty_batch wall-time ratio
+(acceptance floor: 3x).  Results land in ``BENCH_reputation.json`` at the
+repository root to start the perf trajectory.
+
+Run standalone (``python benchmarks/bench_reputation_cache.py [--smoke]``)
+or via pytest (``pytest benchmarks/bench_reputation_cache.py -m bench
+[--bench-smoke]``).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+import pytest
+
+from repro.core.messages import BarterCastMessage, HistoryRecord
+from repro.core.node import BarterCastNode
+from repro.core.reputation import MB
+from repro.sim.rng import RngRegistry
+
+pytestmark = pytest.mark.bench
+
+OWNER = -1
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_reputation.json"
+
+
+@dataclass
+class WorkloadConfig:
+    """Shape of the mixed gossip + ranking workload."""
+
+    num_peers: int
+    degree: int
+    rounds: int
+    gossip_per_round: int
+    candidates: int
+    seed: int = 7
+    repeats: int = 3
+
+
+SMOKE = WorkloadConfig(
+    num_peers=150, degree=6, rounds=6, gossip_per_round=3, candidates=10, repeats=1
+)
+FULL = WorkloadConfig(
+    num_peers=2000, degree=12, rounds=80, gossip_per_round=4, candidates=200
+)
+
+
+def _build_workload(cfg: WorkloadConfig):
+    """Pre-generate the identical event stream every variant replays.
+
+    Returns ``(bootstrap, rounds, candidates)``: the initial view-building
+    messages, the per-round gossip message lists, and the fixed candidate
+    list (one swarm's interested peers).
+    """
+    rng = RngRegistry(cfg.seed).stream("bench-repcache")
+    gen = rng.generator
+
+    def message(sender: int, created_at: float, scale: float) -> BarterCastMessage:
+        counterparties = gen.integers(0, cfg.num_peers, size=cfg.degree)
+        records = tuple(
+            HistoryRecord(
+                counterparty=int(c),
+                uploaded=float(gen.uniform(1, 500)) * MB * scale,
+                downloaded=float(gen.uniform(1, 500)) * MB * scale,
+            )
+            for c in counterparties
+            if int(c) != sender
+        )
+        return BarterCastMessage(sender=sender, created_at=created_at, records=records)
+
+    bootstrap = [message(pid, created_at=0.0, scale=1.0) for pid in range(cfg.num_peers)]
+    rounds = [
+        [
+            message(
+                int(gen.integers(0, cfg.num_peers)),
+                created_at=float(r + 1),
+                # Growing totals: supersede earlier claims with larger ones
+                # so each message genuinely moves edges.
+                scale=1.0 + 0.1 * (r + 1),
+            )
+            for _ in range(cfg.gossip_per_round)
+        ]
+        for r in range(cfg.rounds)
+    ]
+    candidates = [int(c) for c in gen.choice(cfg.num_peers, size=cfg.candidates, replace=False)]
+    return bootstrap, rounds, candidates
+
+
+def _fresh_node(cfg: WorkloadConfig, cache_mode: str, bootstrap) -> BarterCastNode:
+    node = BarterCastNode(OWNER, cache_mode=cache_mode)
+    gen = RngRegistry(cfg.seed).stream("bench-own-history").generator
+    for pid in range(min(40, cfg.num_peers)):
+        node.record_download(pid, float(gen.uniform(10, 1000)) * MB, now=0.0)
+        node.record_upload(pid, float(gen.uniform(10, 1000)) * MB, now=0.0)
+    for msg in bootstrap:
+        node.receive_message(msg)
+    return node
+
+
+def _run_variant(
+    cfg: WorkloadConfig, cache_mode: str, batched: bool, workload
+) -> Tuple[float, List[Tuple[float, ...]], Dict[str, int]]:
+    """Replay the workload; returns (seconds, per-round reputation rows,
+    telemetry counters)."""
+    bootstrap, rounds, candidates = workload
+    node = _fresh_node(cfg, cache_mode, bootstrap)
+    rows: List[Tuple[float, ...]] = []
+    t0 = time.perf_counter()
+    for messages in rounds:
+        for msg in messages:
+            node.receive_message(msg)
+        if batched:
+            reps = node.reputations_of(candidates)
+        else:
+            reps = {c: node.reputation_of(c) for c in candidates}
+        rows.append(tuple(reps[c] for c in candidates))
+    elapsed = time.perf_counter() - t0
+    telemetry = {
+        "hits": node.rep_cache_hits,
+        "misses": node.rep_cache_misses,
+        "invalidations": node.rep_cache_invalidations,
+    }
+    return elapsed, rows, telemetry
+
+
+VARIANTS = {
+    "wholesale_scalar": ("wholesale", False),
+    "wholesale_batch": ("wholesale", True),
+    "dirty_scalar": ("dirty", False),
+    "dirty_batch": ("dirty", True),
+}
+
+
+def run_bench(cfg: WorkloadConfig) -> dict:
+    """Run all variants on one pre-generated workload; best-of-``repeats``
+    timing, bitwise result comparison."""
+    workload = _build_workload(cfg)
+    results: Dict[str, dict] = {}
+    reference_rows = None
+    for name, (cache_mode, batched) in VARIANTS.items():
+        best = float("inf")
+        telemetry: Dict[str, int] = {}
+        for _ in range(cfg.repeats):
+            elapsed, rows, telemetry = _run_variant(cfg, cache_mode, batched, workload)
+            best = min(best, elapsed)
+            if reference_rows is None:
+                reference_rows = rows
+            elif rows != reference_rows:
+                raise AssertionError(
+                    f"variant {name} produced different reputations than baseline"
+                )
+        results[name] = {"seconds": best, **telemetry}
+    baseline = results["wholesale_scalar"]["seconds"]
+    return {
+        "workload": asdict(cfg),
+        "variants": results,
+        "speedup_dirty_batch": baseline / results["dirty_batch"]["seconds"],
+        "speedup_dirty_scalar": baseline / results["dirty_scalar"]["seconds"],
+        "speedup_wholesale_batch": baseline / results["wholesale_batch"]["seconds"],
+        "identical_reputations": True,
+    }
+
+
+def write_results(payload: dict, path: Path = RESULT_PATH) -> None:
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def test_bench_reputation_cache(bench_smoke, tmp_path):
+    cfg = SMOKE if bench_smoke else FULL
+    payload = run_bench(cfg)
+    # Smoke numbers are meaningless as a perf record: never let a CI-sized
+    # run clobber the committed full-scale artifact.
+    write_results(payload, tmp_path / "BENCH_reputation.json" if bench_smoke else RESULT_PATH)
+    assert payload["identical_reputations"]
+    for variant in payload["variants"].values():
+        assert variant["seconds"] > 0
+    if not bench_smoke:
+        # Acceptance floor: the incremental engine is >= 3x faster than the
+        # wholesale-invalidation baseline on the mixed workload.
+        assert payload["speedup_dirty_batch"] >= 3.0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="tiny CI-sized run")
+    args = parser.parse_args()
+    payload = run_bench(SMOKE if args.smoke else FULL)
+    if not args.smoke:
+        write_results(payload)
+    print(json.dumps(payload, indent=2, sort_keys=True))

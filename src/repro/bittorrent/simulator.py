@@ -426,6 +426,12 @@ class CommunitySimulator:
         return the statistics collector."""
         horizon = self.trace.duration if until is None else min(until, self.trace.duration)
         self.engine.run_until(horizon)
+        nodes = self.nodes.values()
+        self.stats.record_cache_telemetry(
+            sum(n.rep_cache_hits for n in nodes),
+            sum(n.rep_cache_misses for n in nodes),
+            sum(n.rep_cache_invalidations for n in nodes),
+        )
         return self.stats
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -55,6 +55,11 @@ class StatsCollector:
         self.leech_time = np.zeros((n, self.num_buckets))
         #: (time, {peer_id: system reputation}) snapshots.
         self.reputation_samples: List[Tuple[float, Dict[int, float]]] = []
+        #: Aggregate reputation-cache telemetry (set by the simulator at
+        #: the end of a run via :meth:`record_cache_telemetry`).
+        self.rep_cache_hits = 0
+        self.rep_cache_misses = 0
+        self.rep_cache_invalidations = 0
 
     # ------------------------------------------------------------------
     # Recording
@@ -77,6 +82,29 @@ class StatsCollector:
     def record_reputation_sample(self, now: float, reputations: Dict[int, float]) -> None:
         """Store a snapshot of system reputations at time ``now``."""
         self.reputation_samples.append((now, dict(reputations)))
+
+    def record_cache_telemetry(
+        self, hits: int, misses: int, invalidations: int
+    ) -> None:
+        """Store cumulative reputation-cache counters (totals; latest wins).
+
+        The simulator aggregates the per-node ``rep_cache_*`` counters
+        over the whole population at the end of a run.
+        """
+        self.rep_cache_hits = int(hits)
+        self.rep_cache_misses = int(misses)
+        self.rep_cache_invalidations = int(invalidations)
+
+    def cache_hit_rate(self) -> float:
+        """Fraction of reputation lookups served from the cache.
+
+        NaN when no lookups were recorded (e.g. under ``NoPolicy`` the
+        choker never consults reputations).
+        """
+        total = self.rep_cache_hits + self.rep_cache_misses
+        if total == 0:
+            return float("nan")
+        return self.rep_cache_hits / total
 
     # ------------------------------------------------------------------
     # Totals

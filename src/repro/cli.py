@@ -149,11 +149,17 @@ def _scalability(peers: int, seed: int) -> None:
     result = run_scalability(sizes=tuple(sizes), seed=seed)
     print("== Scalability of the subjective view (future work) ==")
     print(render_table(
-        ["known peers", "edges", "query us", "ingest us/record"],
-        [(p.num_peers, p.num_edges, p.query_us, p.ingest_us) for p in result.points],
+        ["known peers", "edges", "query us", "batch us", "warm us", "ingest us/record"],
+        [
+            (p.num_peers, p.num_edges, p.query_us, p.batch_query_us,
+             p.warm_query_us, p.ingest_us)
+            for p in result.points
+        ],
         "{:.1f}",
     ))
     print(f"query growth factor across sizes: {result.query_growth_factor():.2f}")
+    if result.cache_hit_rate == result.cache_hit_rate:  # not NaN
+        print(f"reputation cache hit rate: {result.cache_hit_rate:.1%}")
 
 
 def main(argv: Optional[List[str]] = None) -> int:

@@ -7,19 +7,35 @@ simulator calls into it on three paths:
 
 * transfer accounting (``record_upload`` / ``record_download``),
 * gossip (``create_message`` / ``receive_message``),
-* policy decisions (``reputation_of``), which are cache-hot because the
-  choker re-evaluates candidates every round.
+* policy decisions (``reputation_of`` / ``reputations_of``), which are
+  cache-hot because the choker re-evaluates candidates every round.
 
-Cache discipline: reputations are memoized per target and invalidated
-wholesale whenever the subjective graph's version counter moves (any
-private-history or shared-history change).  Under gossip the graph changes
-in bursts between choke rounds, so hit rates during ranking are high.
+Cache discipline (see DESIGN.md for the exactness argument): the node
+subscribes to the graph's edge-change events and invalidates *dirty sets*
+instead of the whole cache.  For the default ``two_hop`` kernel,
+``R_i(j)`` depends only on edges incident to ``i`` or ``j``, so an edge
+``(x, y)`` change invalidates exactly the cached entries for ``x`` and
+``y`` — unless the edge touches the owner ``i`` itself, in which case
+every cached value depends on it and the cache is cleared.  Non-default
+kernels (which route flow through longer paths) conservatively clear on
+every change.  ``cache_mode`` selects ``"dirty"`` (default),
+``"wholesale"`` (the historical behaviour: clear whenever
+``graph.version`` moved — kept for baseline benchmarking), or ``"off"``
+(no memoization; the oracle the staleness tests compare against).
+
+Batch path: :meth:`reputations_of` (and through it
+:meth:`rank_by_reputation` and the policy ``prewarm`` hook) evaluates all
+cache-missing targets with one :func:`~repro.graph.batch
+.maxflow_two_hop_batch` pass, which hoists the owner's neighbourhood
+lookups out of the per-target loop.  Telemetry counters
+(``rep_cache_hits`` / ``rep_cache_misses`` / ``rep_cache_invalidations``)
+instrument every lookup.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
 
 from repro.core.adversary import HonestBehavior, MessageBehavior
 from repro.core.history import PrivateHistory
@@ -28,9 +44,12 @@ from repro.core.reputation import ReputationMetric
 from repro.core.sharedhistory import SubjectiveSharedHistory
 from repro.graph.transfer_graph import TransferGraph
 
-__all__ = ["BarterCastConfig", "BarterCastNode"]
+__all__ = ["BarterCastConfig", "BarterCastNode", "CACHE_MODES"]
 
 PeerId = Hashable
+
+#: Valid values of ``BarterCastNode(cache_mode=...)``.
+CACHE_MODES = ("dirty", "wholesale", "off")
 
 
 @dataclass
@@ -64,6 +83,10 @@ class BarterCastNode:
         Protocol parameters; a default-constructed config matches the paper.
     behavior:
         Message behaviour; defaults to :class:`HonestBehavior`.
+    cache_mode:
+        Reputation-cache discipline: ``"dirty"`` (event-driven dirty-set
+        invalidation, default), ``"wholesale"`` (version-keyed full
+        clears), or ``"off"`` (no memoization).
     """
 
     def __init__(
@@ -71,18 +94,36 @@ class BarterCastNode:
         peer_id: PeerId,
         config: Optional[BarterCastConfig] = None,
         behavior: Optional[MessageBehavior] = None,
+        cache_mode: str = "dirty",
     ) -> None:
+        if cache_mode not in CACHE_MODES:
+            raise ValueError(
+                f"cache_mode must be one of {CACHE_MODES}, got {cache_mode!r}"
+            )
         self.peer_id = peer_id
         self.config = config if config is not None else BarterCastConfig()
         self.behavior: MessageBehavior = behavior if behavior is not None else HonestBehavior()
+        self.cache_mode = cache_mode
         self.history = PrivateHistory(peer_id)
         self.graph = TransferGraph()
         self.graph.add_node(peer_id)
         self.shared = SubjectiveSharedHistory(peer_id, self.graph)
         self._rep_cache: Dict[PeerId, float] = {}
         self._rep_cache_version = -1
+        #: Telemetry: cache lookups answered from the cache.
+        self.rep_cache_hits = 0
+        #: Telemetry: cache lookups that required a kernel evaluation.
+        self.rep_cache_misses = 0
+        #: Telemetry: cached entries dropped by invalidation.
+        self.rep_cache_invalidations = 0
         self.messages_sent = 0
         self.messages_received = 0
+        # Hoisted out of the edge listener, which runs on every effective
+        # graph write: whether the configured kernel admits exact dirty-set
+        # invalidation.  The kernel is fixed at construction time.
+        self._dirty_exact = bool(self.config.metric.supports_dirty_invalidation)
+        if cache_mode == "dirty":
+            self.graph.subscribe(self._on_edge_change)
 
     # ------------------------------------------------------------------
     # Transfer accounting (private history is authoritative for own edges)
@@ -125,35 +166,124 @@ class BarterCastNode:
         return self.shared.ingest(message)
 
     # ------------------------------------------------------------------
+    # Cache maintenance
+    # ------------------------------------------------------------------
+    def _on_edge_change(self, src: PeerId, dst: PeerId) -> None:
+        """Graph edge listener: invalidate the dirty set for ``(src, dst)``.
+
+        Exact for the ``two_hop`` kernel (module docstring); conservative
+        full clear for the iterative kernels and for edges incident to the
+        owner (every ``R_i(j)`` depends on edges touching ``i``).
+        """
+        cache = self._rep_cache
+        if not cache:
+            return
+        me = self.peer_id
+        if self._dirty_exact and src != me and dst != me:
+            before = len(cache)
+            cache.pop(src, None)
+            cache.pop(dst, None)
+            self.rep_cache_invalidations += before - len(cache)
+            return
+        self.rep_cache_invalidations += len(cache)
+        cache.clear()
+
+    def _sync_cache_epoch(self) -> None:
+        """Wholesale mode: clear the cache if the graph version moved."""
+        if self.cache_mode != "wholesale":
+            return
+        if self._rep_cache_version != self.graph.version:
+            self.rep_cache_invalidations += len(self._rep_cache)
+            self._rep_cache.clear()
+            self._rep_cache_version = self.graph.version
+
+    def invalidate_cache(self) -> None:
+        """Drop every cached reputation (forces cold re-evaluation).
+
+        Used by benchmarks and the scalability experiment to measure
+        cold-cache query cost; normal operation never needs it.
+        """
+        self.rep_cache_invalidations += len(self._rep_cache)
+        self._rep_cache.clear()
+        self._rep_cache_version = -1
+
+    @property
+    def rep_cache_size(self) -> int:
+        """Number of currently memoized reputations."""
+        return len(self._rep_cache)
+
+    # ------------------------------------------------------------------
     # Reputation
     # ------------------------------------------------------------------
     def reputation_of(self, peer: PeerId) -> float:
-        """The subjective reputation ``R_self(peer)``, cached per graph version."""
+        """The subjective reputation ``R_self(peer)``, served from the cache
+        when the cached value is provably fresh."""
         if peer == self.peer_id:
             raise ValueError("a node does not rate itself")
-        if self._rep_cache_version != self.graph.version:
-            self._rep_cache.clear()
-            self._rep_cache_version = self.graph.version
+        if self.cache_mode == "off":
+            self.rep_cache_misses += 1
+            return self.config.metric.reputation(self.graph, self.peer_id, peer)
+        if self.cache_mode == "wholesale":
+            self._sync_cache_epoch()
         cached = self._rep_cache.get(peer)
         if cached is not None:
+            self.rep_cache_hits += 1
             return cached
+        self.rep_cache_misses += 1
         value = self.config.metric.reputation(self.graph, self.peer_id, peer)
         self._rep_cache[peer] = value
         return value
 
-    def reputations_of(self, peers: List[PeerId]) -> Dict[PeerId, float]:
-        """Batch evaluation of several peers (shares one cache epoch)."""
-        return {p: self.reputation_of(p) for p in peers if p != self.peer_id}
+    def reputations_of(self, peers: Iterable[PeerId]) -> Dict[PeerId, float]:
+        """Batch evaluation of several peers.
 
-    def rank_by_reputation(self, peers: List[PeerId]) -> List[PeerId]:
-        """Peers sorted by descending subjective reputation.
+        Cached entries are served directly; all misses are evaluated in a
+        single batched kernel pass (bit-identical to scalar evaluation).
+        ``self`` and duplicates are skipped.
+        """
+        unique: List[PeerId] = []
+        seen = set()
+        for p in peers:
+            if p != self.peer_id and p not in seen:
+                seen.add(p)
+                unique.append(p)
+        if not unique:
+            return {}
+        values: Dict[PeerId, float] = {}
+        if self.cache_mode == "off":
+            missing = unique
+        else:
+            if self.cache_mode == "wholesale":
+                self._sync_cache_epoch()
+            cache_get = self._rep_cache.get
+            missing = []
+            for p in unique:
+                v = cache_get(p)
+                if v is None:
+                    missing.append(p)
+                else:
+                    self.rep_cache_hits += 1
+                    values[p] = v
+        if missing:
+            self.rep_cache_misses += len(missing)
+            fresh = self.config.metric.reputation_batch(
+                self.graph, self.peer_id, missing
+            )
+            if self.cache_mode != "off":
+                self._rep_cache.update(fresh)
+            values.update(fresh)
+        return {p: values[p] for p in unique}
+
+    def rank_by_reputation(self, peers: Iterable[PeerId]) -> List[PeerId]:
+        """Peers sorted by descending subjective reputation (batched).
 
         Ties are broken deterministically by peer id representation, which
         in the rank policy gives stable round-robin-like behaviour among
         strangers (all reputation ~0).
         """
+        reps = self.reputations_of(peers)
         scored: List[Tuple[float, str, PeerId]] = [
-            (-self.reputation_of(p), repr(p), p) for p in peers if p != self.peer_id
+            (-value, repr(p), p) for p, value in reps.items()
         ]
         scored.sort(key=lambda t: (t[0], t[1]))
         return [p for _, _, p in scored]

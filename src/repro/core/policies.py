@@ -54,10 +54,25 @@ class ReputationPolicy:
     #: Optional stranger policy consulted for reputation lookups.
     stranger_policy = None
 
+    #: Whether the policy reads reputations at all (drives ``prewarm``).
+    uses_reputation = False
+
     def _reputation(self, node: BarterCastNode, peer: PeerId) -> float:
         if self.stranger_policy is not None:
             return self.stranger_policy.effective_reputation(node, peer)
         return node.reputation_of(peer)
+
+    def prewarm(self, node: Optional[BarterCastNode], peers: List[PeerId]) -> None:
+        """Batch-evaluate the reputations of ``peers`` before per-peer calls.
+
+        The choker calls this once per round with the full candidate list;
+        reputation-reading policies answer it with one batched kernel pass
+        (:meth:`BarterCastNode.reputations_of`), so the subsequent
+        ``allows`` / ``order_optimistic`` lookups are cache hits.  Policies
+        that ignore reputation inherit the no-op.
+        """
+        if self.uses_reputation and node is not None and peers:
+            node.reputations_of(peers)
 
     def allows(self, node: Optional[BarterCastNode], peer: PeerId) -> bool:
         """Whether ``peer`` may receive an upload slot from ``node``'s owner."""
@@ -101,6 +116,7 @@ class RankPolicy(ReputationPolicy):
     """
 
     name = "rank"
+    uses_reputation = True
 
     def __init__(self, stranger_policy=None) -> None:
         self.stranger_policy = stranger_policy
@@ -117,6 +133,9 @@ class RankPolicy(ReputationPolicy):
         if node is None:
             return rng.shuffled(interested)
         shuffled = rng.shuffled(interested)
+        # One batched kernel pass warms the cache; the sort key then reads
+        # cache hits (via the stranger policy when one is configured).
+        self.prewarm(node, shuffled)
         shuffled.sort(key=lambda p: -self._reputation(node, p))
         return shuffled
 
@@ -137,6 +156,7 @@ class BanPolicy(ReputationPolicy):
     """
 
     name = "ban"
+    uses_reputation = True
 
     def __init__(self, delta: float = -0.5, stranger_policy=None) -> None:
         if not -1.0 <= delta <= 0.0:
@@ -155,6 +175,7 @@ class BanPolicy(ReputationPolicy):
         interested: List[PeerId],
         rng: RngStream,
     ) -> List[PeerId]:
+        self.prewarm(node, interested)
         allowed = [p for p in interested if self.allows(node, p)]
         return rng.shuffled(allowed)
 

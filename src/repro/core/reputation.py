@@ -35,6 +35,7 @@ from __future__ import annotations
 import math
 from typing import Callable, Dict, Hashable, Iterable, Literal, Optional
 
+from repro.graph.batch import maxflow_two_hop_batch
 from repro.graph.maxflow import (
     bounded_ford_fulkerson,
     ford_fulkerson,
@@ -133,6 +134,45 @@ class ReputationMetric:
         inflow = self.maxflow(graph, j, i)
         outflow = self.maxflow(graph, i, j)
         return self.scale(inflow - outflow)
+
+    def reputation_batch(
+        self, graph: TransferGraph, i: PeerId, targets: Iterable[PeerId]
+    ) -> Dict[PeerId, float]:
+        """``R_i(j)`` for every target ``j`` in one pass.
+
+        For the default ``two_hop`` kernel this routes through
+        :func:`~repro.graph.batch.maxflow_two_hop_batch`, hoisting the
+        owner's neighbourhood lookups out of the per-target loop; results
+        are bit-identical to per-target :meth:`reputation` calls.  The
+        iterative kernels have no batched form and fall back to the scalar
+        path.  ``i`` itself and duplicate targets are skipped.
+        """
+        if self.kernel == "two_hop":
+            scale = self.scale
+            return {
+                j: scale(inflow - outflow)
+                for j, (inflow, outflow) in maxflow_two_hop_batch(
+                    graph, i, targets
+                ).items()
+            }
+        out: Dict[PeerId, float] = {}
+        for j in targets:
+            if j != i and j not in out:
+                out[j] = self.reputation(graph, i, j)
+        return out
+
+    @property
+    def supports_dirty_invalidation(self) -> bool:
+        """Whether 2-hop dirty-set cache invalidation is *exact* for this
+        metric.
+
+        True only for the ``two_hop`` kernel, where ``R_i(j)`` depends
+        exclusively on edges incident to ``i`` or ``j`` (see DESIGN.md,
+        "Cache discipline").  The iterative kernels can route flow through
+        longer paths, so their consumers must fall back to full
+        invalidation on any edge change.
+        """
+        return self.kernel == "two_hop"
 
     def scale(self, diff_bytes: float) -> float:
         """Map a byte-valued maxflow difference into (-1, 1)."""

@@ -157,6 +157,15 @@ class SubjectiveSharedHistory:
     def _materialize(self, edge: Tuple[PeerId, PeerId]) -> None:
         claims = self._claims.get(edge, {})
         value = max((c.value for c in claims.values()), default=0.0)
+        # A claim that does not move the max (e.g. a second reporter making
+        # a lower claim) leaves the materialized edge as-is: skip the write
+        # so the graph version stays put and no cache invalidation fires.
+        # The endpoints are still registered — a zero-value claim marks the
+        # peers as known even though it stores no edge.
+        if value == self._graph.capacity(edge[0], edge[1]):
+            self._graph.add_node(edge[0])
+            self._graph.add_node(edge[1])
+            return
         self._graph.set_transfer(edge[0], edge[1], value)
 
     # ------------------------------------------------------------------

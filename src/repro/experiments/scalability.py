@@ -42,15 +42,25 @@ class ScalabilityPoint:
     num_edges:
         Directed edges stored.
     query_us:
-        Mean 2-hop reputation query latency (microseconds, cold cache).
+        Mean 2-hop reputation query latency (microseconds, cold cache,
+        scalar kernel).
     ingest_us:
         Mean per-record gossip ingestion latency (microseconds).
+    batch_query_us:
+        Mean per-target latency of one cold batched
+        :meth:`~repro.core.node.BarterCastNode.reputations_of` pass over
+        the same targets (microseconds).
+    warm_query_us:
+        Mean per-target latency of repeating that pass against the warm
+        cache (microseconds).
     """
 
     num_peers: int
     num_edges: int
     query_us: float
     ingest_us: float
+    batch_query_us: float = 0.0
+    warm_query_us: float = 0.0
 
 
 @dataclass
@@ -58,6 +68,8 @@ class ScalabilityResult:
     """The measured scaling curve."""
 
     points: List[ScalabilityPoint] = field(default_factory=list)
+    #: Aggregate reputation-cache hit rate over the whole measurement run.
+    cache_hit_rate: float = float("nan")
 
     def query_growth_factor(self) -> float:
         """Largest-over-smallest query latency ratio — near 1.0 means the
@@ -128,19 +140,32 @@ def run_scalability(
         ingest_us = _grow_view(node, grown, size, degree, rng)
         grown = size
         # Cold-cache reputation queries against random known peers.
-        targets = gen.integers(0, size, size=queries)
+        targets = [int(t) for t in gen.integers(0, size, size=queries)]
         t0 = time.perf_counter()
         for target in targets:
-            node._rep_cache.clear()
-            node._rep_cache_version = -1
-            node.reputation_of(int(target))
+            node.invalidate_cache()
+            node.reputation_of(target)
         query_us = (time.perf_counter() - t0) / queries * 1e6
+        # The same targets through the batched kernel (cold), then again
+        # against the warm cache (the choke-round steady state).
+        node.invalidate_cache()
+        t0 = time.perf_counter()
+        node.reputations_of(targets)
+        batch_query_us = (time.perf_counter() - t0) / queries * 1e6
+        t0 = time.perf_counter()
+        node.reputations_of(targets)
+        warm_query_us = (time.perf_counter() - t0) / queries * 1e6
         result.points.append(
             ScalabilityPoint(
                 num_peers=size,
                 num_edges=node.graph.num_edges,
                 query_us=query_us,
                 ingest_us=ingest_us,
+                batch_query_us=batch_query_us,
+                warm_query_us=warm_query_us,
             )
         )
+    lookups = node.rep_cache_hits + node.rep_cache_misses
+    if lookups:
+        result.cache_hit_rate = node.rep_cache_hits / lookups
     return result

@@ -13,9 +13,17 @@ Three maxflow kernels are provided (all in :mod:`repro.graph.maxflow`):
 * :func:`~repro.graph.maxflow.maxflow_two_hop` — a closed-form O(degree)
   evaluation of the 2-hop-bounded maxflow, which is what the deployed
   BarterCast implementation uses.
+
+Plus the batched form (:mod:`repro.graph.batch`):
+
+* :func:`~repro.graph.batch.maxflow_two_hop_batch` — both directed 2-hop
+  maxflows between one owner and many candidates in a single pass, with
+  the owner's neighbourhood lookups hoisted out of the per-target loop;
+  bit-identical to per-target ``maxflow_two_hop`` calls.
 """
 
 from repro.graph.transfer_graph import TransferGraph
+from repro.graph.batch import maxflow_two_hop_batch
 from repro.graph.maxflow import (
     FlowResult,
     bounded_ford_fulkerson,
@@ -29,4 +37,5 @@ __all__ = [
     "ford_fulkerson",
     "bounded_ford_fulkerson",
     "maxflow_two_hop",
+    "maxflow_two_hop_batch",
 ]

@@ -14,15 +14,26 @@ Implementation: double adjacency dictionaries (
 ``out[i] -> {j: bytes}`` and ``in_[j] -> {i: bytes}``), giving O(1)
 edge lookups in both directions and O(degree) neighbourhood scans, which is
 exactly what the 2-hop maxflow closed form needs.
+
+Change notification: consumers that cache derived values (the reputation
+cache in :class:`~repro.core.node.BarterCastNode`) can :meth:`subscribe
+<TransferGraph.subscribe>` an edge listener ``fn(src, dst)`` that fires on
+every *effective* edge change — a write that leaves the stored weight
+unchanged fires nothing and does not bump :attr:`~TransferGraph.version`,
+so subscribers learn which edges moved instead of conservatively assuming
+everything did.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Iterator, Mapping, Tuple
+from typing import Callable, Dict, Hashable, Iterable, Iterator, List, Mapping, Tuple
 
 __all__ = ["TransferGraph"]
 
 PeerId = Hashable
+
+#: Callback invoked with the endpoints of an edge whose weight changed.
+EdgeListener = Callable[[PeerId, PeerId], None]
 
 
 class TransferGraph:
@@ -48,6 +59,30 @@ class TransferGraph:
         self._in: Dict[PeerId, Dict[PeerId, float]] = {}
         self._total_bytes = 0.0
         self._version = 0
+        self._listeners: List[EdgeListener] = []
+
+    # ------------------------------------------------------------------
+    # Change notification
+    # ------------------------------------------------------------------
+    def subscribe(self, listener: EdgeListener) -> None:
+        """Register ``listener(src, dst)`` to fire on every edge change.
+
+        Listeners fire after the mutation is applied, once per directed
+        edge whose stored weight actually changed (no-op writes are
+        silent).  Listeners must not mutate the graph.
+        """
+        self._listeners.append(listener)
+
+    def unsubscribe(self, listener: EdgeListener) -> None:
+        """Remove a previously registered listener (no-op if absent)."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
+
+    def _notify(self, src: PeerId, dst: PeerId) -> None:
+        for listener in self._listeners:
+            listener(src, dst)
 
     # ------------------------------------------------------------------
     # Mutation
@@ -82,12 +117,15 @@ class TransferGraph:
         self._in[dst][src] = self._in[dst].get(src, 0.0) + float(nbytes)
         self._total_bytes += float(nbytes)
         self._version += 1
+        self._notify(src, dst)
 
     def set_transfer(self, src: PeerId, dst: PeerId, nbytes: float) -> None:
         """Overwrite the aggregate for edge ``(src, dst)``.
 
         Used when a received BarterCast record supersedes an older record
         for the same ordered pair (records carry totals, not deltas).
+        Writing the value already stored is a no-op: the version counter
+        does not move and no listener fires.
         """
         if nbytes < 0:
             raise ValueError(f"transfer size must be non-negative, got {nbytes}")
@@ -95,25 +133,36 @@ class TransferGraph:
             raise ValueError(f"self-transfer rejected for node {src!r}")
         self.add_node(src)
         self.add_node(dst)
-        old = self._out[src].pop(dst, 0.0)
-        self._in[dst].pop(src, None)
-        if nbytes > 0:
-            self._out[src][dst] = float(nbytes)
-            self._in[dst][src] = float(nbytes)
-        self._total_bytes += float(nbytes) - old
+        new = float(nbytes)
+        old = self._out[src].get(dst, 0.0)
+        if new == old:
+            return
+        if new > 0:
+            self._out[src][dst] = new
+            self._in[dst][src] = new
+        else:
+            del self._out[src][dst]
+            del self._in[dst][src]
+        self._total_bytes += new - old
         self._version += 1
+        self._notify(src, dst)
 
     def remove_node(self, node: PeerId) -> None:
         """Delete ``node`` and all incident edges (no-op if absent)."""
         if node not in self._out:
             return
+        touched: List[Tuple[PeerId, PeerId]] = []
         for dst, w in self._out.pop(node).items():
             del self._in[dst][node]
             self._total_bytes -= w
+            touched.append((node, dst))
         for src, w in self._in.pop(node).items():
             del self._out[src][node]
             self._total_bytes -= w
+            touched.append((src, node))
         self._version += 1
+        for src, dst in touched:
+            self._notify(src, dst)
 
     # ------------------------------------------------------------------
     # Queries
@@ -164,9 +213,11 @@ class TransferGraph:
 
     @property
     def version(self) -> int:
-        """Monotone counter bumped on every mutation.
+        """Monotone counter bumped on every *effective* mutation.
 
-        Reputation caches key on this to know when to invalidate.
+        Writes that leave the stored state unchanged (e.g. ``set_transfer``
+        to the current value) do not move it.  Wholesale reputation caches
+        key on this; dirty-set caches subscribe to edge events instead.
         """
         return self._version
 

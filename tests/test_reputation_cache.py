@@ -1,0 +1,346 @@
+"""Tests for the incremental reputation engine.
+
+Three families:
+
+* **Batched kernel equivalence** — ``maxflow_two_hop_batch`` must be
+  *bit-identical* to per-target scalar ``maxflow_two_hop`` calls, and both
+  must agree with an independent networkx reference (exact maxflow on the
+  2-hop-restricted subgraph, whose every path has length <= 2).
+* **Dirty-set staleness oracle** — a ``cache_mode="dirty"`` node replaying
+  a random stream of transfers, gossip, claim retractions and node
+  removals must answer every reputation query exactly like a cache-free
+  oracle node (and like the wholesale-invalidation node).
+* **Telemetry / cache-mode plumbing** — hit/miss/invalidation counters and
+  the version-neutrality of no-op writes.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import math
+import sys
+from pathlib import Path
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.messages import BarterCastMessage, HistoryRecord
+from repro.core.node import BarterCastNode
+from repro.core.reputation import MB, ReputationMetric
+from repro.graph.batch import maxflow_two_hop_batch
+from repro.graph.maxflow import maxflow_two_hop
+from repro.graph.transfer_graph import TransferGraph
+
+# ---------------------------------------------------------------------------
+# Strategies
+# ---------------------------------------------------------------------------
+
+NODE_IDS = st.integers(min_value=0, max_value=9)
+WEIGHTS = st.floats(min_value=0.1, max_value=1e9, allow_nan=False, allow_infinity=False)
+
+edge_lists = st.lists(st.tuples(NODE_IDS, NODE_IDS, WEIGHTS), max_size=40)
+
+
+def build_graph(edges) -> TransferGraph:
+    g = TransferGraph()
+    for s, d, w in edges:
+        if s != d:
+            g.add_transfer(s, d, w)
+    return g
+
+
+def two_hop_reference_nx(g: TransferGraph, s, t) -> float:
+    """Independent 2-hop maxflow: exact maxflow on the subgraph containing
+    only the direct edge and the ``s -> v -> t`` path edges (every path in
+    that subgraph has length <= 2, so exact flow == 2-hop-bounded flow)."""
+    if not g.has_node(s) or not g.has_node(t):
+        return 0.0
+    sub = nx.DiGraph()
+    sub.add_node(s)
+    sub.add_node(t)
+    out_s = g.successors(s)
+    in_t = g.predecessors(t)
+    direct = out_s.get(t, 0.0)
+    if direct:
+        sub.add_edge(s, t, capacity=direct)
+    for v, c_sv in out_s.items():
+        if v == t:
+            continue
+        c_vt = in_t.get(v)
+        if c_vt:
+            sub.add_edge(s, v, capacity=c_sv)
+            sub.add_edge(v, t, capacity=c_vt)
+    value, _ = nx.maximum_flow(sub, s, t)
+    return float(value)
+
+
+# ---------------------------------------------------------------------------
+# Batched kernel equivalence
+# ---------------------------------------------------------------------------
+
+
+class TestBatchKernel:
+    @given(edges=edge_lists, owner=NODE_IDS)
+    @settings(max_examples=100, deadline=None)
+    def test_batch_bitwise_equals_scalar(self, edges, owner):
+        g = build_graph(edges)
+        targets = [n for n in range(10) if n != owner] + [99]  # 99: unknown peer
+        flows = maxflow_two_hop_batch(g, owner, targets)
+        assert set(flows) == set(targets)
+        for j, (inflow, outflow) in flows.items():
+            assert inflow == maxflow_two_hop(g, j, owner).value
+            assert outflow == maxflow_two_hop(g, owner, j).value
+
+    @given(edges=edge_lists, owner=NODE_IDS)
+    @settings(max_examples=60, deadline=None)
+    def test_batch_matches_networkx_reference(self, edges, owner):
+        g = build_graph(edges)
+        targets = [n for n in range(10) if n != owner]
+        for j, (inflow, outflow) in maxflow_two_hop_batch(g, owner, targets).items():
+            assert math.isclose(
+                inflow, two_hop_reference_nx(g, j, owner), rel_tol=1e-9, abs_tol=1e-6
+            )
+            assert math.isclose(
+                outflow, two_hop_reference_nx(g, owner, j), rel_tol=1e-9, abs_tol=1e-6
+            )
+
+    @given(edges=edge_lists, owner=NODE_IDS)
+    @settings(max_examples=60, deadline=None)
+    def test_metric_batch_bitwise_equals_scalar(self, edges, owner):
+        g = build_graph(edges)
+        metric = ReputationMetric()
+        targets = [n for n in range(10) if n != owner]
+        batched = metric.reputation_batch(g, owner, targets)
+        for j in targets:
+            assert batched[j] == metric.reputation(g, owner, j)
+
+    def test_batch_skips_owner_and_duplicates(self):
+        g = build_graph([(0, 1, 5.0)])
+        flows = maxflow_two_hop_batch(g, 0, [0, 1, 1, 0])
+        assert set(flows) == {1}
+
+    def test_metric_batch_falls_back_for_iterative_kernels(self):
+        g = build_graph([(1, 0, 5.0), (1, 2, 3.0), (2, 0, 4.0)])
+        metric = ReputationMetric(kernel="exact")
+        batched = metric.reputation_batch(g, 0, [1, 2])
+        for j in (1, 2):
+            assert batched[j] == metric.reputation(g, 0, j)
+
+
+# ---------------------------------------------------------------------------
+# Dirty-set staleness oracle
+# ---------------------------------------------------------------------------
+
+PEERS = st.integers(min_value=1, max_value=9)
+
+
+@st.composite
+def op_streams(draw):
+    """A random stream of node-state mutations."""
+    n = draw(st.integers(min_value=1, max_value=25))
+    ops = []
+    for _ in range(n):
+        kind = draw(
+            st.sampled_from(["up", "down", "msg", "forget", "remove"])
+        )
+        if kind in ("up", "down"):
+            ops.append((kind, draw(PEERS), draw(WEIGHTS)))
+        elif kind == "msg":
+            reporter = draw(PEERS)
+            records = draw(
+                st.lists(
+                    st.tuples(
+                        st.integers(min_value=0, max_value=9), WEIGHTS, WEIGHTS
+                    ),
+                    min_size=1,
+                    max_size=4,
+                )
+            )
+            created = draw(st.floats(min_value=0, max_value=100, allow_nan=False))
+            ops.append((kind, reporter, records, created))
+        elif kind == "forget":
+            ops.append((kind, draw(PEERS)))
+        else:  # remove
+            ops.append((kind, draw(PEERS)))
+    return ops
+
+
+def _apply(node: BarterCastNode, op, now: float) -> None:
+    kind = op[0]
+    if kind == "up":
+        node.record_upload(op[1], op[2], now)
+    elif kind == "down":
+        node.record_download(op[1], op[2], now)
+    elif kind == "msg":
+        _, reporter, records, created = op
+        msg = BarterCastMessage(
+            sender=reporter,
+            created_at=created,
+            records=tuple(
+                HistoryRecord(counterparty=c, uploaded=u, downloaded=d)
+                for c, u, d in records
+                if c != reporter
+            ),
+        )
+        node.receive_message(msg)
+    elif kind == "forget":
+        node.shared.forget_reporter(op[1])
+    elif kind == "remove":
+        node.graph.remove_node(op[1])
+
+
+class TestDirtySetNeverStale:
+    @given(ops=op_streams())
+    @settings(max_examples=60, deadline=None)
+    def test_dirty_and_wholesale_match_oracle(self, ops):
+        dirty = BarterCastNode(0, cache_mode="dirty")
+        wholesale = BarterCastNode(0, cache_mode="wholesale")
+        oracle = BarterCastNode(0, cache_mode="off")
+        targets = list(range(1, 10))
+        now = 0.0
+        for op in ops:
+            now += 1.0
+            for node in (dirty, wholesale, oracle):
+                _apply(node, op, now)
+            want = {p: oracle.reputation_of(p) for p in targets}
+            # Batched lookup on the dirty node, scalar on the wholesale one:
+            # every path must agree with the cache-free oracle, bitwise.
+            assert dirty.reputations_of(targets) == want
+            assert {p: wholesale.reputation_of(p) for p in targets} == want
+
+    @given(ops=op_streams())
+    @settings(max_examples=30, deadline=None)
+    def test_dirty_scalar_lookups_match_oracle(self, ops):
+        dirty = BarterCastNode(0, cache_mode="dirty")
+        oracle = BarterCastNode(0, cache_mode="off")
+        targets = list(range(1, 10))
+        now = 0.0
+        for op in ops:
+            now += 1.0
+            _apply(dirty, op, now)
+            _apply(oracle, op, now)
+            for p in targets:
+                assert dirty.reputation_of(p) == oracle.reputation_of(p)
+
+
+# ---------------------------------------------------------------------------
+# Telemetry and cache-mode plumbing
+# ---------------------------------------------------------------------------
+
+
+class TestCacheTelemetry:
+    def test_hit_miss_counting(self):
+        n = BarterCastNode("me")
+        n.record_download("p", 100 * MB, now=1.0)
+        n.reputation_of("p")
+        n.reputation_of("p")
+        assert n.rep_cache_misses == 1
+        assert n.rep_cache_hits == 1
+
+    def test_dirty_invalidation_is_targeted(self):
+        n = BarterCastNode("me")
+        msg = BarterCastMessage(
+            "r", 1.0, records=(HistoryRecord("a", 100 * MB, 0.0),
+                               HistoryRecord("b", 50 * MB, 0.0))
+        )
+        n.receive_message(msg)
+        n.reputations_of(["r", "a", "b"])
+        assert n.rep_cache_size == 3
+        # A far-away edge change (r -> a grows) must only evict r and a.
+        msg2 = BarterCastMessage("r", 2.0, records=(HistoryRecord("a", 200 * MB, 0.0),))
+        n.receive_message(msg2)
+        assert n.rep_cache_size == 1
+        assert n.rep_cache_invalidations == 2
+
+    def test_owner_incident_edge_clears_everything(self):
+        n = BarterCastNode("me")
+        msg = BarterCastMessage("r", 1.0, records=(HistoryRecord("a", 100 * MB, 0.0),))
+        n.receive_message(msg)
+        n.reputations_of(["r", "a"])
+        assert n.rep_cache_size == 2
+        n.record_upload("a", 10 * MB, now=2.0)  # edge (me, a): full clear
+        assert n.rep_cache_size == 0
+
+    def test_noop_gossip_does_not_invalidate(self):
+        n = BarterCastNode("me")
+        msg = BarterCastMessage("r", 1.0, records=(HistoryRecord("a", 100 * MB, 0.0),))
+        n.receive_message(msg)
+        n.reputations_of(["r", "a"])
+        invalidations = n.rep_cache_invalidations
+        # A second reporter claiming a *lower* total for the same edge does
+        # not move the materialized max: the cache must survive untouched.
+        msg2 = BarterCastMessage("a", 2.0, records=(HistoryRecord("r", 0.0, 50 * MB),))
+        n.receive_message(msg2)
+        assert n.rep_cache_size == 2
+        assert n.rep_cache_invalidations == invalidations
+
+    def test_cache_mode_off_never_caches(self):
+        n = BarterCastNode("me", cache_mode="off")
+        n.record_download("p", 100 * MB, now=1.0)
+        n.reputation_of("p")
+        n.reputation_of("p")
+        assert n.rep_cache_hits == 0
+        assert n.rep_cache_misses == 2
+        assert n.rep_cache_size == 0
+
+    def test_invalid_cache_mode_rejected(self):
+        with pytest.raises(ValueError):
+            BarterCastNode("me", cache_mode="bogus")
+
+    def test_invalidate_cache_forces_cold(self):
+        n = BarterCastNode("me")
+        n.record_download("p", 100 * MB, now=1.0)
+        n.reputation_of("p")
+        n.invalidate_cache()
+        n.reputation_of("p")
+        assert n.rep_cache_misses == 2
+
+    def test_non_default_kernel_falls_back_to_full_invalidation(self):
+        from repro.core.node import BarterCastConfig
+
+        cfg = BarterCastConfig(metric=ReputationMetric(kernel="exact"))
+        n = BarterCastNode("me", config=cfg)
+        msg = BarterCastMessage("r", 1.0, records=(HistoryRecord("a", 100 * MB, 0.0),))
+        n.receive_message(msg)
+        n.reputations_of(["r", "a"])
+        assert n.rep_cache_size == 2
+        # Any far-away change clears everything under an inexact kernel.
+        msg2 = BarterCastMessage("b", 2.0, records=(HistoryRecord("c", 1 * MB, 0.0),))
+        n.receive_message(msg2)
+        assert n.rep_cache_size == 0
+
+
+# ---------------------------------------------------------------------------
+# Bench smoke (tier-1 guard for the benchmark harness)
+# ---------------------------------------------------------------------------
+
+
+def test_reputation_cache_bench_smoke(tmp_path):
+    """The perf bench's workload must keep running (and stay bit-identical
+    across engine variants) at smoke scale."""
+    bench_path = (
+        Path(__file__).resolve().parent.parent
+        / "benchmarks"
+        / "bench_reputation_cache.py"
+    )
+    spec = importlib.util.spec_from_file_location("bench_reputation_cache", bench_path)
+    mod = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = mod  # dataclasses resolve annotations via sys.modules
+    try:
+        spec.loader.exec_module(mod)
+    finally:
+        sys.modules.pop(spec.name, None)
+    payload = mod.run_bench(mod.SMOKE)
+    out = tmp_path / "BENCH_reputation.json"
+    mod.write_results(payload, out)
+    assert out.exists()
+    assert payload["identical_reputations"]
+    assert set(payload["variants"]) == {
+        "wholesale_scalar",
+        "wholesale_batch",
+        "dirty_scalar",
+        "dirty_batch",
+    }
+    assert all(v["seconds"] > 0 for v in payload["variants"].values())

@@ -103,6 +103,71 @@ class TestMutation:
         g.set_transfer("a", "b", 2.0)
         assert g.version > v1
 
+    def test_noop_set_transfer_is_version_neutral(self):
+        g = TransferGraph()
+        g.add_transfer("a", "b", 5.0)
+        v = g.version
+        g.set_transfer("a", "b", 5.0)
+        assert g.version == v
+        g.set_transfer("a", "c", 0.0)  # absent edge set to zero: no-op too
+        v2 = g.version
+        g.set_transfer("a", "c", 0.0)
+        assert g.version == v2
+
+
+class TestChangeEvents:
+    def setup_method(self):
+        self.events = []
+
+    def listener(self, src, dst):
+        self.events.append((src, dst))
+
+    def test_add_transfer_notifies_endpoints(self):
+        g = TransferGraph()
+        g.subscribe(self.listener)
+        g.add_transfer("a", "b", 1.0)
+        assert self.events == [("a", "b")]
+
+    def test_set_transfer_notifies_only_on_change(self):
+        g = TransferGraph()
+        g.subscribe(self.listener)
+        g.set_transfer("a", "b", 3.0)
+        g.set_transfer("a", "b", 3.0)  # no-op: silent
+        g.set_transfer("a", "b", 4.0)
+        g.set_transfer("a", "b", 0.0)  # removal: fires
+        assert self.events == [("a", "b")] * 3
+
+    def test_zero_byte_add_transfer_is_silent(self):
+        g = TransferGraph()
+        g.subscribe(self.listener)
+        g.add_transfer("a", "b", 0.0)
+        assert self.events == []
+
+    def test_remove_node_notifies_every_incident_edge(self):
+        g = TransferGraph()
+        g.add_transfer("a", "b", 1.0)
+        g.add_transfer("c", "a", 2.0)
+        g.add_transfer("b", "c", 3.0)
+        g.subscribe(self.listener)
+        g.remove_node("a")
+        assert sorted(self.events) == [("a", "b"), ("c", "a")]
+
+    def test_unsubscribe_stops_events(self):
+        g = TransferGraph()
+        g.subscribe(self.listener)
+        g.add_transfer("a", "b", 1.0)
+        g.unsubscribe(self.listener)
+        g.add_transfer("a", "b", 1.0)
+        assert self.events == [("a", "b")]
+        g.unsubscribe(self.listener)  # absent: no-op
+
+    def test_copy_does_not_inherit_listeners(self):
+        g = TransferGraph()
+        g.subscribe(self.listener)
+        h = g.copy()
+        h.add_transfer("a", "b", 1.0)
+        assert self.events == []
+
 
 class TestQueries:
     @pytest.fixture
