@@ -21,6 +21,12 @@ headline number is the wholesale_scalar / dirty_batch wall-time ratio
 (acceptance floor: 3x).  Results land in ``BENCH_reputation.json`` at the
 repository root to start the perf trajectory.
 
+A second section replays the shipped ``dirty_batch`` configuration three
+ways — observability off, metrics on, metrics + sampled tracing — to pin
+the instrumentation overhead: the disabled path must time like the plain
+variant (the cached-``None`` guards cost one attribute check), and the
+reputations must stay bit-identical in all three.
+
 Run standalone (``python benchmarks/bench_reputation_cache.py [--smoke]``)
 or via pytest (``pytest benchmarks/bench_reputation_cache.py -m bench
 [--bench-smoke]``).
@@ -28,17 +34,19 @@ or via pytest (``pytest benchmarks/bench_reputation_cache.py -m bench
 
 from __future__ import annotations
 
+import io
 import json
 import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import pytest
 
 from repro.core.messages import BarterCastMessage, HistoryRecord
 from repro.core.node import BarterCastNode
 from repro.core.reputation import MB
+from repro.obs import MetricsRegistry, Observability, TraceEmitter
 from repro.sim.rng import RngRegistry
 
 pytestmark = pytest.mark.bench
@@ -109,8 +117,13 @@ def _build_workload(cfg: WorkloadConfig):
     return bootstrap, rounds, candidates
 
 
-def _fresh_node(cfg: WorkloadConfig, cache_mode: str, bootstrap) -> BarterCastNode:
-    node = BarterCastNode(OWNER, cache_mode=cache_mode)
+def _fresh_node(
+    cfg: WorkloadConfig,
+    cache_mode: str,
+    bootstrap,
+    obs: Optional[Observability] = None,
+) -> BarterCastNode:
+    node = BarterCastNode(OWNER, cache_mode=cache_mode, obs=obs)
     gen = RngRegistry(cfg.seed).stream("bench-own-history").generator
     for pid in range(min(40, cfg.num_peers)):
         node.record_download(pid, float(gen.uniform(10, 1000)) * MB, now=0.0)
@@ -121,12 +134,16 @@ def _fresh_node(cfg: WorkloadConfig, cache_mode: str, bootstrap) -> BarterCastNo
 
 
 def _run_variant(
-    cfg: WorkloadConfig, cache_mode: str, batched: bool, workload
+    cfg: WorkloadConfig,
+    cache_mode: str,
+    batched: bool,
+    workload,
+    obs: Optional[Observability] = None,
 ) -> Tuple[float, List[Tuple[float, ...]], Dict[str, int]]:
     """Replay the workload; returns (seconds, per-round reputation rows,
     telemetry counters)."""
     bootstrap, rounds, candidates = workload
-    node = _fresh_node(cfg, cache_mode, bootstrap)
+    node = _fresh_node(cfg, cache_mode, bootstrap, obs=obs)
     rows: List[Tuple[float, ...]] = []
     t0 = time.perf_counter()
     for messages in rounds:
@@ -184,6 +201,55 @@ def run_bench(cfg: WorkloadConfig) -> dict:
     }
 
 
+def run_obs_overhead(cfg: WorkloadConfig, workload=None) -> dict:
+    """Time the shipped dirty_batch configuration under three obs modes.
+
+    ``obs_off`` is the exact same configuration as the ``dirty_batch``
+    variant above, so its timing doubles as the disabled-path overhead
+    probe; ``metrics_on`` adds a live registry; ``metrics_trace`` adds a
+    sampled in-memory trace on top.  All three must produce bit-identical
+    reputation rows.
+    """
+    if workload is None:
+        workload = _build_workload(cfg)
+
+    def make_obs(name: str) -> Optional[Observability]:
+        if name == "obs_off":
+            return None
+        if name == "metrics_on":
+            return Observability(metrics=MetricsRegistry())
+        # Sampled tracing into an in-memory sink: measures the emit path
+        # without benchmarking the filesystem.
+        return Observability(
+            metrics=MetricsRegistry(),
+            tracer=TraceEmitter(io.StringIO(), default_rate=0.01, seed=cfg.seed),
+        )
+
+    timings: Dict[str, float] = {}
+    reference_rows = None
+    for name in ("obs_off", "metrics_on", "metrics_trace"):
+        best = float("inf")
+        for _ in range(cfg.repeats):
+            elapsed, rows, _ = _run_variant(
+                cfg, "dirty", True, workload, obs=make_obs(name)
+            )
+            best = min(best, elapsed)
+            if reference_rows is None:
+                reference_rows = rows
+            elif rows != reference_rows:
+                raise AssertionError(
+                    f"obs mode {name} changed the computed reputations"
+                )
+        timings[name] = best
+    off = timings["obs_off"]
+    return {
+        "seconds": timings,
+        "overhead_metrics_pct": (timings["metrics_on"] / off - 1.0) * 100.0,
+        "overhead_trace_pct": (timings["metrics_trace"] / off - 1.0) * 100.0,
+        "identical_reputations": True,
+    }
+
+
 def write_results(payload: dict, path: Path = RESULT_PATH) -> None:
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
@@ -191,16 +257,27 @@ def write_results(payload: dict, path: Path = RESULT_PATH) -> None:
 def test_bench_reputation_cache(bench_smoke, tmp_path):
     cfg = SMOKE if bench_smoke else FULL
     payload = run_bench(cfg)
+    payload["instrumentation"] = run_obs_overhead(cfg)
     # Smoke numbers are meaningless as a perf record: never let a CI-sized
     # run clobber the committed full-scale artifact.
     write_results(payload, tmp_path / "BENCH_reputation.json" if bench_smoke else RESULT_PATH)
     assert payload["identical_reputations"]
+    assert payload["instrumentation"]["identical_reputations"]
     for variant in payload["variants"].values():
         assert variant["seconds"] > 0
     if not bench_smoke:
         # Acceptance floor: the incremental engine is >= 3x faster than the
         # wholesale-invalidation baseline on the mixed workload.
         assert payload["speedup_dirty_batch"] >= 3.0
+        # The disabled instrumentation path must time like the plain
+        # dirty_batch variant (same configuration, same workload): the
+        # cached-None guards are one attribute check per block.  Lenient
+        # band to absorb timing noise.
+        ratio = (
+            payload["instrumentation"]["seconds"]["obs_off"]
+            / payload["variants"]["dirty_batch"]["seconds"]
+        )
+        assert 0.75 <= ratio <= 1.25, f"disabled-obs path drifted: ratio={ratio:.3f}"
 
 
 if __name__ == "__main__":  # pragma: no cover - manual entry point
@@ -209,7 +286,9 @@ if __name__ == "__main__":  # pragma: no cover - manual entry point
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true", help="tiny CI-sized run")
     args = parser.parse_args()
-    payload = run_bench(SMOKE if args.smoke else FULL)
+    cfg = SMOKE if args.smoke else FULL
+    payload = run_bench(cfg)
+    payload["instrumentation"] = run_obs_overhead(cfg)
     if not args.smoke:
         write_results(payload)
     print(json.dumps(payload, indent=2, sort_keys=True))

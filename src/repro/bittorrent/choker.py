@@ -26,6 +26,7 @@ from repro.bittorrent.config import BitTorrentConfig
 from repro.bittorrent.swarm import MemberState, SwarmState
 from repro.core.node import BarterCastNode
 from repro.core.policies import ReputationPolicy
+from repro.obs import Observability
 from repro.sim.rng import RngStream
 
 __all__ = ["select_unchokes", "interested_candidates"]
@@ -63,11 +64,16 @@ def select_unchokes(
     config: BitTorrentConfig,
     is_online: Callable[[int], bool],
     can_connect: Callable[[int, int], bool],
+    obs: Optional[Observability] = None,
 ) -> Set[int]:
     """The set of peers ``uploader`` sends data to this round.
 
     Combines the tit-for-tat regular slots with the (policy-ordered)
-    optimistic slot; banned peers are excluded everywhere.
+    optimistic slot; banned peers are excluded everywhere.  When ``obs``
+    is passed (only ever an *enabled* bundle — callers keep the disabled
+    default as ``None`` so this path stays branch-free), every call
+    bumps ``choke.calls`` and policy-banned candidates bump
+    ``choke.banned``.
     """
     candidates = interested_candidates(swarm, uploader, is_online, can_connect)
     if not candidates:
@@ -77,6 +83,12 @@ def select_unchokes(
     # checks below (and the optimistic ordering) then hit the warm cache.
     policy.prewarm(node, candidates)
     allowed = [c for c in candidates if policy.allows(node, c)]
+    if obs is not None and obs.metrics.enabled:
+        metrics = obs.metrics
+        metrics.counter("choke.calls").inc()
+        banned = len(candidates) - len(allowed)
+        if banned:
+            metrics.counter("choke.banned").inc(banned)
 
     # --- regular slots: tit-for-tat ranking --------------------------------
     if uploader.is_seeder:

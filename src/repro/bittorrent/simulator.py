@@ -29,6 +29,7 @@ BarterCast messages (bidirectionally) with a PSS-sampled partner.
 
 from __future__ import annotations
 
+import time as _time
 from collections import Counter, defaultdict
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
@@ -42,6 +43,8 @@ from repro.bittorrent.stats import StatsCollector
 from repro.bittorrent.swarm import SwarmState
 from repro.core.node import BarterCastConfig, BarterCastNode
 from repro.core.policies import NoPolicy, ReputationPolicy
+from repro.graph import kernel_invocations
+from repro.obs import NULL_OBS, Observability
 from repro.pss.buddycast import BuddyCastPSS, OraclePSS, PeerSamplingService
 from repro.sim.engine import Simulator
 from repro.sim.process import PeriodicProcess
@@ -72,6 +75,12 @@ class CommunitySimulator:
     pss:
         ``"buddycast"`` (epidemic partial views, default) or ``"oracle"``
         (ideal global sampler, for ablations).
+    obs:
+        Observability bundle, threaded through the engine, every node,
+        and the choker.  When enabled, rounds/transfers/gossip are
+        counted and timed (``bt.*``, ``gossip.*``) and sampled trace
+        events are emitted; run results stay bit-identical either way
+        because instrumentation never touches the simulation RNGs.
     """
 
     def __init__(
@@ -83,6 +92,7 @@ class CommunitySimulator:
         bc_config: Optional[BarterCastConfig] = None,
         seed: int = 0,
         pss: str = "buddycast",
+        obs: Optional[Observability] = None,
     ) -> None:
         trace.validate()
         self.trace = trace
@@ -91,11 +101,38 @@ class CommunitySimulator:
         self.config = config if config is not None else BitTorrentConfig()
         self.config.validate()
         self.bc_config = bc_config if bc_config is not None else BarterCastConfig()
-        self.engine = Simulator()
+        self.obs = obs if obs is not None else NULL_OBS
+        self.engine = Simulator(obs=self.obs)
         self.rngs = RngRegistry(seed)
 
+        metrics = self.obs.metrics
+        if metrics.enabled:
+            self._m_rounds = metrics.counter("bt.rounds")
+            self._m_transfers = metrics.counter("bt.transfers")
+            self._m_bytes = metrics.counter("bt.bytes")
+            self._t_round = metrics.timer("bt.round_s")
+            self._t_choke = metrics.timer("bt.choke_s")
+            self._m_gossip = metrics.counter("gossip.exchanges")
+            self._m_gossip_lost = metrics.counter("gossip.messages_lost")
+        else:
+            self._m_rounds = None
+            self._m_transfers = None
+            self._m_bytes = None
+            self._t_round = None
+            self._t_choke = None
+            self._m_gossip = None
+            self._m_gossip_lost = None
+        tracer = self.obs.tracer
+        self._tr_round = tracer.category("bt.round") if tracer.enabled else None
+        self._tr_transfer = tracer.category("bt.transfer") if tracer.enabled else None
+        self._tr_gossip = tracer.category("gossip.exchange") if tracer.enabled else None
+        self._choker_obs = self.obs if self.obs.enabled else None
+        self._kernel_baseline = kernel_invocations()
+
         self.nodes: Dict[int, BarterCastNode] = {
-            pid: BarterCastNode(pid, self.bc_config, behavior=roles.behavior_of(pid))
+            pid: BarterCastNode(
+                pid, self.bc_config, behavior=roles.behavior_of(pid), obs=self.obs
+            )
             for pid in trace.peers
         }
         self.online: Set[int] = set()
@@ -103,7 +140,10 @@ class CommunitySimulator:
             sid: SwarmState(spec) for sid, spec in trace.swarms.items()
         }
         self.stats = StatsCollector(
-            list(trace.peers), trace.duration, self.config.sample_interval
+            list(trace.peers),
+            trace.duration,
+            self.config.sample_interval,
+            metrics=metrics if metrics.enabled else None,
         )
         self.round_idx = 0
         # Origin seeders are infrastructure (a private community keeps its
@@ -237,12 +277,34 @@ class CommunitySimulator:
     # The main round
     # ------------------------------------------------------------------
     def _round(self) -> None:
+        if self._t_round is None and self._tr_round is None:
+            self._round_body()
+            return
+        t0 = _time.perf_counter()
+        self._round_body()
+        duration = _time.perf_counter() - t0
+        if self._t_round is not None:
+            self._m_rounds.inc()
+            self._t_round.observe(duration)
+        if self._tr_round is not None:
+            self._tr_round.emit(
+                "round",
+                sim_time=self.engine.now,
+                attrs={"idx": self.round_idx, "online": len(self.online)},
+                duration_s=duration,
+            )
+
+    def _round_body(self) -> None:
         now = self.engine.now
         dt = self.config.round_interval
         self.round_idx += 1
 
         self._expire_seeders(now)
-        links = self._collect_links()
+        if self._t_choke is not None:
+            with self._t_choke:
+                links = self._collect_links()
+        else:
+            links = self._collect_links()
         transfers = self._allocate_bandwidth(links, dt)
         completed = self._execute_transfers(transfers, now)
         self._update_rates(transfers)
@@ -284,6 +346,7 @@ class CommunitySimulator:
                     config=self.config,
                     is_online=self.is_online,
                     can_connect=self.can_connect,
+                    obs=self._choker_obs,
                 )
                 for target in unchoked:
                     links.append((pid, target, swarm))
@@ -365,6 +428,21 @@ class CommunitySimulator:
         self.nodes[up].record_upload(down, actual, now)
         self.nodes[down].record_download(up, actual, now)
         self.stats.record_transfer(up, down, actual, now)
+        if self._m_transfers is not None:
+            self._m_transfers.inc()
+            self._m_bytes.inc(actual)
+        if self._tr_transfer is not None:
+            self._tr_transfer.emit(
+                "piece_transfer",
+                sim_time=now,
+                attrs={
+                    "swarm": swarm.spec.swarm_id,
+                    "up": up,
+                    "down": down,
+                    "bytes": actual,
+                    "pieces": n_complete,
+                },
+            )
         return actual
 
     def _update_rates(self, transfers: List[Tuple[int, int, SwarmState, float]]) -> None:
@@ -413,12 +491,27 @@ class CommunitySimulator:
         na.note_seen(b, now)
         nb.note_seen(a, now)
         loss = self.config.gossip_loss
+        lost = 0
         msg_a = na.create_message(now)
-        if msg_a is not None and not (loss > 0 and self._gossip_rng.bernoulli(loss)):
-            nb.receive_message(msg_a)
+        if msg_a is not None:
+            if loss > 0 and self._gossip_rng.bernoulli(loss):
+                lost += 1
+            else:
+                nb.receive_message(msg_a)
         msg_b = nb.create_message(now)
-        if msg_b is not None and not (loss > 0 and self._gossip_rng.bernoulli(loss)):
-            na.receive_message(msg_b)
+        if msg_b is not None:
+            if loss > 0 and self._gossip_rng.bernoulli(loss):
+                lost += 1
+            else:
+                na.receive_message(msg_b)
+        if self._m_gossip is not None:
+            self._m_gossip.inc()
+            if lost:
+                self._m_gossip_lost.inc(lost)
+        if self._tr_gossip is not None:
+            self._tr_gossip.emit(
+                "exchange", sim_time=now, attrs={"a": a, "b": b, "lost": lost}
+            )
 
     # ------------------------------------------------------------------
     def run(self, until: Optional[float] = None) -> StatsCollector:
@@ -432,6 +525,13 @@ class CommunitySimulator:
             sum(n.rep_cache_misses for n in nodes),
             sum(n.rep_cache_invalidations for n in nodes),
         )
+        metrics = self.obs.metrics
+        if metrics.enabled:
+            # Publish this run's share of the module-level kernel counters
+            # (delta against the counts at construction time).
+            for kernel, count in kernel_invocations().items():
+                delta = count - self._kernel_baseline.get(kernel, 0)
+                metrics.gauge(f"rep.kernel.{kernel}").set(delta)
         return self.stats
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -17,9 +17,11 @@ a transfer is O(1) and series extraction is vectorized.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["StatsCollector"]
 
@@ -35,10 +37,20 @@ class StatsCollector:
         Simulation horizon (seconds).
     bucket_seconds:
         Width of the time buckets used for speed series.
+    metrics:
+        The run's metrics registry.  Aggregate telemetry (e.g. the
+        reputation-cache counters the simulator publishes at the end of
+        a run) lands here as ``rep.cache.*`` gauges; when no registry is
+        passed the collector owns a private one so the telemetry stays
+        queryable even for uninstrumented runs.
     """
 
     def __init__(
-        self, peer_ids: Sequence[int], duration: float, bucket_seconds: float
+        self,
+        peer_ids: Sequence[int],
+        duration: float,
+        bucket_seconds: float,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if bucket_seconds <= 0:
             raise ValueError("bucket_seconds must be positive")
@@ -55,11 +67,8 @@ class StatsCollector:
         self.leech_time = np.zeros((n, self.num_buckets))
         #: (time, {peer_id: system reputation}) snapshots.
         self.reputation_samples: List[Tuple[float, Dict[int, float]]] = []
-        #: Aggregate reputation-cache telemetry (set by the simulator at
-        #: the end of a run via :meth:`record_cache_telemetry`).
-        self.rep_cache_hits = 0
-        self.rep_cache_misses = 0
-        self.rep_cache_invalidations = 0
+        #: The registry all aggregate telemetry is published into.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
 
     # ------------------------------------------------------------------
     # Recording
@@ -86,14 +95,30 @@ class StatsCollector:
     def record_cache_telemetry(
         self, hits: int, misses: int, invalidations: int
     ) -> None:
-        """Store cumulative reputation-cache counters (totals; latest wins).
+        """Publish cumulative reputation-cache counters (totals; latest wins).
 
         The simulator aggregates the per-node ``rep_cache_*`` counters
-        over the whole population at the end of a run.
+        over the whole population at the end of a run; they land in
+        :attr:`metrics` as ``rep.cache.*`` gauges.
         """
-        self.rep_cache_hits = int(hits)
-        self.rep_cache_misses = int(misses)
-        self.rep_cache_invalidations = int(invalidations)
+        self.metrics.gauge("rep.cache.hits").set(int(hits))
+        self.metrics.gauge("rep.cache.misses").set(int(misses))
+        self.metrics.gauge("rep.cache.invalidations").set(int(invalidations))
+
+    @property
+    def rep_cache_hits(self) -> int:
+        """Aggregate cache hits (from the ``rep.cache.hits`` gauge)."""
+        return int(self.metrics.value("rep.cache.hits"))
+
+    @property
+    def rep_cache_misses(self) -> int:
+        """Aggregate cache misses (from the ``rep.cache.misses`` gauge)."""
+        return int(self.metrics.value("rep.cache.misses"))
+
+    @property
+    def rep_cache_invalidations(self) -> int:
+        """Aggregate invalidations (from the ``rep.cache.invalidations`` gauge)."""
+        return int(self.metrics.value("rep.cache.invalidations"))
 
     def cache_hit_rate(self) -> float:
         """Fraction of reputation lookups served from the cache.
@@ -151,7 +176,9 @@ class StatsCollector:
             out[has] = np.nanmean(speeds[:, has], axis=0)
         return out
 
-    def group_mean_speed(self, peers: Iterable[int], t0: float = 0.0, t1: float = None) -> float:
+    def group_mean_speed(
+        self, peers: Iterable[int], t0: float = 0.0, t1: Optional[float] = None
+    ) -> float:
         """Aggregate speed of a group over ``[t0, t1)``: total bytes / total
         leech time (bytes/s; NaN if the group never leeched)."""
         if t1 is None:

@@ -8,17 +8,34 @@ Usage::
     python -m repro.cli fig4 [--peers N] [--seed N]
     python -m repro.cli whitewash [--seed N]
     python -m repro.cli scalability [--peers N]
-    python -m repro.cli all  [--profile ...]
+    python -m repro.cli all  [--profile ...] [--fig4-peers N]
 
 Each subcommand regenerates one figure of the paper and prints the series
 as tables/ASCII charts (see :mod:`repro.experiments.report`).
+
+Observability flags (available on every subcommand):
+
+``--metrics``
+    Collect counters/timers during the run and print a summary report.
+``--trace PATH``
+    Write a JSONL structured trace of simulator events to ``PATH``.
+``--trace-sample RATE``
+    Trace sampling: a global keep-rate (``0.1``) or per-category spec
+    (``0.05,bt.transfer=0.01``).
+
+When ``--export DIR`` or ``--trace`` is given, a ``run_manifest.json``
+capturing config, seed, code revision, per-phase wall time, and the final
+metrics snapshot is written next to the output.  Instrumentation never
+changes results: an instrumented run is bit-identical to a plain one.
 """
 
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 import time
+from pathlib import Path
 from typing import List, Optional
 
 from repro.deployment.network import DeploymentParams
@@ -30,6 +47,8 @@ from repro.experiments import (
     run_fig3,
     run_fig4,
 )
+from repro.obs import ManifestBuilder, Observability, make_observability
+from repro.obs.report import render_report
 
 __all__ = ["main"]
 
@@ -40,6 +59,26 @@ def _build_parser() -> argparse.ArgumentParser:
         description="Regenerate the figures of the BarterCast paper (IPDPS 2009).",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_obs(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--metrics",
+            action="store_true",
+            help="collect run metrics and print a summary report",
+        )
+        p.add_argument(
+            "--trace",
+            metavar="PATH",
+            default=None,
+            help="write a JSONL structured trace of simulator events to PATH",
+        )
+        p.add_argument(
+            "--trace-sample",
+            metavar="RATE",
+            default=None,
+            help="trace sampling: global rate ('0.1') or per-category "
+            "spec ('0.05,bt.transfer=0.01')",
+        )
 
     def add_common(p: argparse.ArgumentParser) -> None:
         p.add_argument(
@@ -55,6 +94,7 @@ def _build_parser() -> argparse.ArgumentParser:
             default=None,
             help="also write the figure series as TSV files into DIR",
         )
+        add_obs(p)
 
     add_common(sub.add_parser("fig1", help="contribution vs reputation"))
     add_common(sub.add_parser("fig2", help="rank/ban policy effectiveness"))
@@ -69,12 +109,28 @@ def _build_parser() -> argparse.ArgumentParser:
     p4 = sub.add_parser("fig4", help="deployment measurement")
     p4.add_argument("--peers", type=int, default=5000, help="population size")
     p4.add_argument("--seed", type=int, default=42, help="root random seed")
+    p4.add_argument(
+        "--export",
+        metavar="DIR",
+        default=None,
+        help="also write the figure series as TSV files into DIR",
+    )
+    add_obs(p4)
     pw = sub.add_parser("whitewash", help="stranger-policy trade-off (paper 3.5)")
     pw.add_argument("--seed", type=int, default=42, help="root random seed")
+    add_obs(pw)
     ps = sub.add_parser("scalability", help="subjective-view scaling (future work)")
     ps.add_argument("--peers", type=int, default=100_000, help="largest view size")
     ps.add_argument("--seed", type=int, default=42, help="root random seed")
-    add_common(sub.add_parser("all", help="regenerate every figure"))
+    add_obs(ps)
+    pall = sub.add_parser("all", help="regenerate every figure")
+    add_common(pall)
+    pall.add_argument(
+        "--fig4-peers",
+        type=int,
+        default=None,
+        help="fig4 population size (default: 1000, or 5000 for --profile paper)",
+    )
     return parser
 
 
@@ -88,49 +144,84 @@ def _maybe_export(tables, export_dir) -> None:
         print(f"[wrote {path}]")
 
 
-def _fig1(scenario: ScenarioConfig, export_dir=None) -> None:
-    result = run_fig1(scenario)
+def _fig1(
+    scenario: ScenarioConfig,
+    export_dir=None,
+    obs: Optional[Observability] = None,
+    manifest: Optional[ManifestBuilder] = None,
+) -> None:
+    with manifest.phase("fig1"):
+        result = run_fig1(scenario, obs=obs)
     print(report.report_fig1(result))
     from repro.analysis.export import export_fig1
 
-    _maybe_export(export_fig1(result), export_dir)
+    with manifest.phase("export"):
+        _maybe_export(export_fig1(result), export_dir)
 
 
-def _fig2(scenario: ScenarioConfig, export_dir=None) -> None:
-    result = run_fig2(scenario)
+def _fig2(
+    scenario: ScenarioConfig,
+    export_dir=None,
+    obs: Optional[Observability] = None,
+    manifest: Optional[ManifestBuilder] = None,
+) -> None:
+    with manifest.phase("fig2"):
+        result = run_fig2(scenario, obs=obs)
     print(report.report_fig2(result))
     from repro.analysis.export import export_fig2
 
-    _maybe_export(export_fig2(result), export_dir)
+    with manifest.phase("export"):
+        _maybe_export(export_fig2(result), export_dir)
 
 
-def _fig3(scenario: ScenarioConfig, kind: str, export_dir=None) -> None:
+def _fig3(
+    scenario: ScenarioConfig,
+    kind: str,
+    export_dir=None,
+    obs: Optional[Observability] = None,
+    manifest: Optional[ManifestBuilder] = None,
+) -> None:
     from repro.analysis.export import export_fig3
 
     kinds = ("ignore", "lie") if kind == "both" else (kind,)
     for k in kinds:
-        result = run_fig3(scenario, kind=k)
+        with manifest.phase(f"fig3-{k}"):
+            result = run_fig3(scenario, kind=k, obs=obs)
         print(report.report_fig3(result))
         print()
-        _maybe_export(export_fig3(result), export_dir)
+        with manifest.phase("export"):
+            _maybe_export(export_fig3(result), export_dir)
 
 
-def _fig4(peers: int, seed: int) -> None:
+def _fig4(
+    peers: int,
+    seed: int,
+    export_dir=None,
+    obs: Optional[Observability] = None,
+    manifest: Optional[ManifestBuilder] = None,
+) -> None:
     params = DeploymentParams(num_peers=peers)
-    print(report.report_fig4(run_fig4(params, seed=seed)))
+    with manifest.phase("fig4"):
+        result = run_fig4(params, seed=seed, obs=obs)
+    print(report.report_fig4(result))
+    from repro.analysis.export import export_fig4
+
+    with manifest.phase("export"):
+        _maybe_export(export_fig4(result), export_dir)
 
 
-def _whitewash(seed: int) -> None:
+def _whitewash(seed: int, manifest: ManifestBuilder) -> None:
     from repro.analysis.ascii_plot import render_table
     from repro.experiments import run_whitewash
 
     rows = []
-    for kind in ("trusted", "static", "adaptive"):
-        r = run_whitewash(kind, seed=seed)
-        rows.append(
-            (kind, r.service["newcomer"], r.service["washer"],
-             r.washer_advantage, r.identities_burned, r.prior_trajectory[-1])
-        )
+    with manifest.phase("whitewash"):
+        for kind in ("trusted", "static", "adaptive"):
+            r = run_whitewash(kind, seed=seed)
+            rows.append(
+                (kind, r.service["newcomer"], r.service["washer"],
+                 r.washer_advantage, r.identities_burned, r.prior_trajectory[-1])
+            )
     print("== Whitewashing defenses (paper 3.5 / future work) ==")
     print(render_table(
         ["stranger policy", "newcomer units", "washer units",
@@ -139,14 +230,15 @@ def _whitewash(seed: int) -> None:
     ))
 
 
-def _scalability(peers: int, seed: int) -> None:
+def _scalability(peers: int, seed: int, manifest: ManifestBuilder) -> None:
     from repro.analysis.ascii_plot import render_table
     from repro.experiments import run_scalability
 
     sizes = [s for s in (1_000, 10_000, 50_000, 100_000) if s <= peers]
     if not sizes or sizes[-1] != peers:
         sizes.append(peers)
-    result = run_scalability(sizes=tuple(sizes), seed=seed)
+    with manifest.phase("scalability"):
+        result = run_scalability(sizes=tuple(sizes), seed=seed)
     print("== Scalability of the subjective view (future work) ==")
     print(render_table(
         ["known peers", "edges", "query us", "batch us", "warm us", "ingest us/record"],
@@ -158,39 +250,83 @@ def _scalability(peers: int, seed: int) -> None:
         "{:.1f}",
     ))
     print(f"query growth factor across sizes: {result.query_growth_factor():.2f}")
-    if result.cache_hit_rate == result.cache_hit_rate:  # not NaN
+    if not math.isnan(result.cache_hit_rate):
         print(f"reputation cache hit rate: {result.cache_hit_rate:.1%}")
+
+
+def _manifest_destination(args: argparse.Namespace) -> Optional[Path]:
+    """Where the run manifest should land: next to the export output, or
+    next to the trace file; ``None`` when there is no output to annotate."""
+    export_dir = getattr(args, "export", None)
+    if export_dir is not None:
+        return Path(export_dir)
+    trace = getattr(args, "trace", None)
+    if trace is not None:
+        return Path(trace).parent / "run_manifest.json"
+    return None
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
     t0 = time.time()
-    if args.command == "fig4":
-        _fig4(args.peers, args.seed)
-    elif args.command == "whitewash":
-        _whitewash(args.seed)
-    elif args.command == "scalability":
-        _scalability(args.peers, args.seed)
-    else:
-        scenario = ScenarioConfig.named(args.profile, seed=args.seed)
-        export_dir = getattr(args, "export", None)
-        if args.command == "fig1":
-            _fig1(scenario, export_dir)
-        elif args.command == "fig2":
-            _fig2(scenario, export_dir)
-        elif args.command == "fig3":
-            _fig3(scenario, args.kind, export_dir)
-        elif args.command == "all":
-            _fig1(scenario, export_dir)
-            print()
-            _fig2(scenario, export_dir)
-            print()
-            _fig3(scenario, "both", export_dir)
-            print()
-            _fig4(1000 if args.profile != "paper" else 5000, args.seed)
+    obs = make_observability(
+        metrics=getattr(args, "metrics", False),
+        trace_path=getattr(args, "trace", None),
+        trace_sample=getattr(args, "trace_sample", None),
+        seed=getattr(args, "seed", 0),
+    )
+    manifest = ManifestBuilder(
+        command=args.command,
+        args={k: v for k, v in vars(args).items() if k != "command"},
+        profile=getattr(args, "profile", None),
+        seed=getattr(args, "seed", None),
+    )
+    export_dir = getattr(args, "export", None)
+    try:
+        if args.command == "fig4":
+            _fig4(args.peers, args.seed, export_dir, obs, manifest)
+        elif args.command == "whitewash":
+            _whitewash(args.seed, manifest)
+        elif args.command == "scalability":
+            _scalability(args.peers, args.seed, manifest)
+        else:
+            scenario = ScenarioConfig.named(args.profile, seed=args.seed)
+            manifest.config = None if scenario is None else _describe_scenario(scenario)
+            if args.command == "fig1":
+                _fig1(scenario, export_dir, obs, manifest)
+            elif args.command == "fig2":
+                _fig2(scenario, export_dir, obs, manifest)
+            elif args.command == "fig3":
+                _fig3(scenario, args.kind, export_dir, obs, manifest)
+            elif args.command == "all":
+                _fig1(scenario, export_dir, obs, manifest)
+                print()
+                _fig2(scenario, export_dir, obs, manifest)
+                print()
+                _fig3(scenario, "both", export_dir, obs, manifest)
+                print()
+                fig4_peers = args.fig4_peers
+                if fig4_peers is None:
+                    fig4_peers = 1000 if args.profile != "paper" else 5000
+                _fig4(fig4_peers, args.seed, export_dir, obs, manifest)
+    finally:
+        obs.close()
+    if obs.metrics.enabled:
+        print()
+        print(render_report(obs.metrics, wall_seconds=time.time() - t0))
+    destination = _manifest_destination(args)
+    if destination is not None:
+        path = manifest.write(destination, metrics=obs.metrics, tracer=obs.tracer)
+        print(f"[wrote {path}]")
     print(f"\n[done in {time.time() - t0:.1f}s]", file=sys.stderr)
     return 0
+
+
+def _describe_scenario(scenario: ScenarioConfig):
+    from repro.obs import describe
+
+    return describe(scenario)
 
 
 if __name__ == "__main__":

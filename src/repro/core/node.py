@@ -43,6 +43,7 @@ from repro.core.messages import BarterCastMessage
 from repro.core.reputation import ReputationMetric
 from repro.core.sharedhistory import SubjectiveSharedHistory
 from repro.graph.transfer_graph import TransferGraph
+from repro.obs import NULL_OBS, Observability
 
 __all__ = ["BarterCastConfig", "BarterCastNode", "CACHE_MODES"]
 
@@ -87,6 +88,13 @@ class BarterCastNode:
         Reputation-cache discipline: ``"dirty"`` (event-driven dirty-set
         invalidation, default), ``"wholesale"`` (version-keyed full
         clears), or ``"off"`` (no memoization).
+    obs:
+        Observability bundle.  When enabled the node counts message
+        traffic (``bc.messages_*``), times kernel evaluations
+        (``rep.kernel_s``), and emits sampled trace events for message
+        send/receive (``bc.message``) and kernel invocations
+        (``rep.kernel``).  The disabled default adds one attribute check
+        per instrumented block.
     """
 
     def __init__(
@@ -95,6 +103,7 @@ class BarterCastNode:
         config: Optional[BarterCastConfig] = None,
         behavior: Optional[MessageBehavior] = None,
         cache_mode: str = "dirty",
+        obs: Optional[Observability] = None,
     ) -> None:
         if cache_mode not in CACHE_MODES:
             raise ValueError(
@@ -104,10 +113,27 @@ class BarterCastNode:
         self.config = config if config is not None else BarterCastConfig()
         self.behavior: MessageBehavior = behavior if behavior is not None else HonestBehavior()
         self.cache_mode = cache_mode
+        self.obs = obs if obs is not None else NULL_OBS
         self.history = PrivateHistory(peer_id)
         self.graph = TransferGraph()
         self.graph.add_node(peer_id)
-        self.shared = SubjectiveSharedHistory(peer_id, self.graph)
+        self.shared = SubjectiveSharedHistory(peer_id, self.graph, obs=self.obs)
+        metrics = self.obs.metrics
+        if metrics.enabled:
+            self._m_sent = metrics.counter("bc.messages_sent")
+            self._m_recv = metrics.counter("bc.messages_received")
+            self._m_kernel_calls = metrics.counter("rep.kernel.calls")
+            self._m_kernel_targets = metrics.counter("rep.kernel.targets")
+            self._t_kernel = metrics.timer("rep.kernel_s")
+        else:
+            self._m_sent = None
+            self._m_recv = None
+            self._m_kernel_calls = None
+            self._m_kernel_targets = None
+            self._t_kernel = None
+        tracer = self.obs.tracer
+        self._tr_msg = tracer.category("bc.message") if tracer.enabled else None
+        self._tr_kernel = tracer.category("rep.kernel") if tracer.enabled else None
         self._rep_cache: Dict[PeerId, float] = {}
         self._rep_cache_version = -1
         #: Telemetry: cache lookups answered from the cache.
@@ -151,6 +177,14 @@ class BarterCastNode:
         msg = self.behavior.make_message(self, now)
         if msg is not None:
             self.messages_sent += 1
+            if self._m_sent is not None:
+                self._m_sent.inc()
+            if self._tr_msg is not None:
+                self._tr_msg.emit(
+                    "send",
+                    sim_time=now,
+                    attrs={"sender": self.peer_id, "records": msg.num_records},
+                )
         return msg
 
     def receive_message(self, message: BarterCastMessage) -> int:
@@ -163,7 +197,21 @@ class BarterCastNode:
         if message.sender == self.peer_id:
             raise ValueError("node received its own message")
         self.messages_received += 1
-        return self.shared.ingest(message)
+        applied = self.shared.ingest(message)
+        if self._m_recv is not None:
+            self._m_recv.inc()
+        if self._tr_msg is not None:
+            self._tr_msg.emit(
+                "receive",
+                sim_time=message.created_at,
+                attrs={
+                    "receiver": self.peer_id,
+                    "sender": message.sender,
+                    "records": message.num_records,
+                    "applied": applied,
+                },
+            )
+        return applied
 
     # ------------------------------------------------------------------
     # Cache maintenance
@@ -222,7 +270,7 @@ class BarterCastNode:
             raise ValueError("a node does not rate itself")
         if self.cache_mode == "off":
             self.rep_cache_misses += 1
-            return self.config.metric.reputation(self.graph, self.peer_id, peer)
+            return self._evaluate_scalar(peer)
         if self.cache_mode == "wholesale":
             self._sync_cache_epoch()
         cached = self._rep_cache.get(peer)
@@ -230,8 +278,21 @@ class BarterCastNode:
             self.rep_cache_hits += 1
             return cached
         self.rep_cache_misses += 1
-        value = self.config.metric.reputation(self.graph, self.peer_id, peer)
+        value = self._evaluate_scalar(peer)
         self._rep_cache[peer] = value
+        return value
+
+    def _evaluate_scalar(self, peer: PeerId) -> float:
+        """One scalar kernel evaluation, instrumented when obs is live."""
+        if self._t_kernel is not None:
+            with self._t_kernel:
+                value = self.config.metric.reputation(self.graph, self.peer_id, peer)
+            self._m_kernel_calls.inc()
+            self._m_kernel_targets.inc()
+        else:
+            value = self.config.metric.reputation(self.graph, self.peer_id, peer)
+        if self._tr_kernel is not None:
+            self._tr_kernel.emit("scalar", attrs={"owner": self.peer_id, "targets": 1})
         return value
 
     def reputations_of(self, peers: Iterable[PeerId]) -> Dict[PeerId, float]:
@@ -266,9 +327,21 @@ class BarterCastNode:
                     values[p] = v
         if missing:
             self.rep_cache_misses += len(missing)
-            fresh = self.config.metric.reputation_batch(
-                self.graph, self.peer_id, missing
-            )
+            if self._t_kernel is not None:
+                with self._t_kernel:
+                    fresh = self.config.metric.reputation_batch(
+                        self.graph, self.peer_id, missing
+                    )
+                self._m_kernel_calls.inc()
+                self._m_kernel_targets.inc(len(missing))
+            else:
+                fresh = self.config.metric.reputation_batch(
+                    self.graph, self.peer_id, missing
+                )
+            if self._tr_kernel is not None:
+                self._tr_kernel.emit(
+                    "batch", attrs={"owner": self.peer_id, "targets": len(missing)}
+                )
             if self.cache_mode != "off":
                 self._rep_cache.update(fresh)
             values.update(fresh)

@@ -37,6 +37,7 @@ from typing import Dict, Hashable, Iterator, Optional, Tuple
 
 from repro.core.messages import BarterCastMessage, HistoryRecord
 from repro.graph.transfer_graph import TransferGraph
+from repro.obs import NULL_OBS, Observability
 
 __all__ = ["SubjectiveSharedHistory"]
 
@@ -61,6 +62,10 @@ class SubjectiveSharedHistory:
     graph:
         The transfer graph to maintain.  Edges incident to ``owner`` are
         never written by this class (they belong to the private history).
+    obs:
+        Observability bundle; when enabled, record merges are counted
+        (``bc.records_applied`` / ``bc.records_dropped``) and each ingest
+        emits one sampled ``bc.merge`` trace event.
 
     Notes
     -----
@@ -71,7 +76,12 @@ class SubjectiveSharedHistory:
     rebuild.
     """
 
-    def __init__(self, owner: PeerId, graph: TransferGraph) -> None:
+    def __init__(
+        self,
+        owner: PeerId,
+        graph: TransferGraph,
+        obs: Optional[Observability] = None,
+    ) -> None:
         self.owner = owner
         self._graph = graph
         # (src, dst) -> {reporter: _Claim}
@@ -79,6 +89,16 @@ class SubjectiveSharedHistory:
         self._messages_seen = 0
         self._records_applied = 0
         self._records_dropped = 0
+        obs = obs if obs is not None else NULL_OBS
+        metrics = obs.metrics
+        if metrics.enabled:
+            self._m_applied = metrics.counter("bc.records_applied")
+            self._m_dropped = metrics.counter("bc.records_dropped")
+        else:
+            self._m_applied = None
+            self._m_dropped = None
+        tracer = obs.tracer
+        self._tr_merge = tracer.category("bc.merge") if tracer.enabled else None
 
     # ------------------------------------------------------------------
     @property
@@ -116,6 +136,20 @@ class SubjectiveSharedHistory:
                 applied += 1
             else:
                 self._records_dropped += 1
+        if self._m_applied is not None:
+            self._m_applied.inc(applied)
+            self._m_dropped.inc(message.num_records - applied)
+        if self._tr_merge is not None:
+            self._tr_merge.emit(
+                "ingest",
+                sim_time=message.created_at,
+                attrs={
+                    "owner": self.owner,
+                    "reporter": message.sender,
+                    "records": message.num_records,
+                    "applied": applied,
+                },
+            )
         return applied
 
     def _apply_record(

@@ -16,13 +16,14 @@ peers occasionally connect too but have nothing to report.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.core.messages import BarterCastMessage, select_records
 from repro.core.node import BarterCastConfig, BarterCastNode
 from repro.deployment.network import DeploymentNetwork
+from repro.obs import Observability
 from repro.sim.rng import RngRegistry
 
 __all__ = ["CrawlResult", "MeasurementCrawl"]
@@ -87,6 +88,9 @@ class MeasurementCrawl:
     bc_config:
         BarterCast parameters of the measurement peer (defaults match the
         paper: ``Nh = Nr = 10``).
+    obs:
+        Observability bundle for the measurement node (message counters,
+        merge traces, kernel timers).
     """
 
     def __init__(
@@ -96,6 +100,7 @@ class MeasurementCrawl:
         contacts_mean: float = 3.0,
         bc_config: BarterCastConfig = None,
         seed: int = 0,
+        obs: Optional[Observability] = None,
     ) -> None:
         if duration_days <= 0:
             raise ValueError("duration_days must be positive")
@@ -106,13 +111,14 @@ class MeasurementCrawl:
         self.contacts_mean = contacts_mean
         self.bc_config = bc_config if bc_config is not None else BarterCastConfig()
         self.seed = int(seed)
+        self.obs = obs
 
     def run(self) -> CrawlResult:
         """Execute the crawl and compute the Figure 4 observables."""
         net = self.network
         rng = RngRegistry(self.seed).stream("crawl")
         gen = rng.generator
-        node = BarterCastNode(net.measurement_id, self.bc_config)
+        node = BarterCastNode(net.measurement_id, self.bc_config, obs=self.obs)
 
         # Seed the measurement peer's own private history from its real
         # transfers (its edges in the deployment network).

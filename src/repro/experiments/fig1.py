@@ -16,13 +16,14 @@ on the transfers themselves.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.analysis.stats import pearson_r, spearman_r
 from repro.core.policies import NoPolicy
 from repro.experiments.scenario import ScenarioConfig, build_simulation
+from repro.obs import Observability
 
 __all__ = ["Fig1Result", "run_fig1"]
 
@@ -62,11 +63,13 @@ class Fig1Result:
         return float(self.sharer_reputation[-1] - self.freerider_reputation[-1])
 
 
-def run_fig1(scenario: ScenarioConfig = None) -> Fig1Result:
+def run_fig1(
+    scenario: ScenarioConfig = None, obs: Optional[Observability] = None
+) -> Fig1Result:
     """Run the Figure 1 experiment and return both panels' series."""
     if scenario is None:
         scenario = ScenarioConfig.fast()
-    sim = build_simulation(scenario, policy=NoPolicy())
+    sim = build_simulation(scenario, policy=NoPolicy(), obs=obs)
     subjects = sim.roles.subjects
 
     def sampler(now: float) -> None:

@@ -20,13 +20,14 @@ policy comparisons are paired.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.analysis.timeseries import bin_series
 from repro.core.policies import BanPolicy, RankPolicy
 from repro.experiments.scenario import ScenarioConfig, build_simulation
+from repro.obs import Observability
 
 __all__ = ["Fig2Result", "run_fig2", "speed_series_kbps"]
 
@@ -97,6 +98,7 @@ def run_fig2(
     scenario: ScenarioConfig = None,
     deltas: Sequence[float] = (-0.3, -0.5, -0.7),
     ban_delta: float = -0.5,
+    obs: Optional[Observability] = None,
 ) -> Fig2Result:
     """Run all Figure 2 conditions (rank, ban, δ sweep) on one population."""
     if scenario is None:
@@ -109,7 +111,7 @@ def run_fig2(
     delta_sweep: Dict[float, np.ndarray] = {}
 
     # Rank policy run.
-    sim = build_simulation(scenario, policy=RankPolicy())
+    sim = build_simulation(scenario, policy=RankPolicy(), obs=obs)
     stats = sim.run()
     days_axis, sharer = speed_series_kbps(stats, sim.roles.sharers)
     _, freerider = speed_series_kbps(stats, sim.roles.freeriders)
@@ -117,7 +119,7 @@ def run_fig2(
 
     # Ban policy runs (one per delta; δ = ban_delta doubles as panel b).
     for delta in deltas:
-        sim = build_simulation(scenario, policy=BanPolicy(delta))
+        sim = build_simulation(scenario, policy=BanPolicy(delta), obs=obs)
         stats = sim.run()
         _, sharer = speed_series_kbps(stats, sim.roles.sharers)
         _, freerider = speed_series_kbps(stats, sim.roles.freeriders)

@@ -17,12 +17,13 @@ below roughly 18 % liars.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.policies import BanPolicy
 from repro.experiments.scenario import ScenarioConfig, build_simulation
+from repro.obs import Observability
 
 __all__ = ["Fig3Result", "run_fig3"]
 
@@ -61,6 +62,7 @@ def run_fig3(
     kind: str = "ignore",
     percentages: Sequence[float] = (0, 10, 20, 30, 40, 50),
     delta: float = -0.5,
+    obs: Optional[Observability] = None,
 ) -> Fig3Result:
     """Sweep the disobeying fraction for one manipulation kind."""
     if kind not in ("ignore", "lie"):
@@ -81,6 +83,7 @@ def run_fig3(
             policy=BanPolicy(delta),
             disobey_fraction=pct / 100.0,
             disobey_kind=kind if pct > 0 else None,
+            obs=obs,
         )
         stats = sim.run()
         sharer_speeds.append(stats.group_mean_speed(sim.roles.sharers) / KB)

@@ -14,13 +14,14 @@ Runs on the synthetic Tribler-like population of
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from repro.analysis.stats import cdf
 from repro.deployment.crawl import MeasurementCrawl
 from repro.deployment.network import DeploymentNetwork, DeploymentParams
+from repro.obs import Observability
 
 __all__ = ["Fig4Result", "run_fig4"]
 
@@ -66,10 +67,11 @@ def run_fig4(
     params: DeploymentParams = None,
     duration_days: float = 30.0,
     seed: int = 42,
+    obs: Optional[Observability] = None,
 ) -> Fig4Result:
     """Generate the population, run the crawl, compute both panels."""
     network = DeploymentNetwork(params if params is not None else DeploymentParams(), seed=seed)
-    crawl = MeasurementCrawl(network, duration_days=duration_days, seed=seed)
+    crawl = MeasurementCrawl(network, duration_days=duration_days, seed=seed, obs=obs)
     result = crawl.run()
 
     net = np.array([result.net_contribution[p] for p in result.seen_peers])

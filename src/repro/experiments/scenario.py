@@ -29,6 +29,7 @@ from repro.bittorrent.simulator import CommunitySimulator
 from repro.core.node import BarterCastConfig
 from repro.core.policies import ReputationPolicy
 from repro.core.reputation import ReputationMetric
+from repro.obs import Observability
 from repro.traces.models import CommunityTrace, DAY, HOUR
 from repro.traces.synthetic import SyntheticTraceGenerator, TraceParams
 
@@ -210,12 +211,15 @@ def build_simulation(
     policy: Optional[ReputationPolicy] = None,
     disobey_fraction: float = 0.0,
     disobey_kind: Optional[str] = None,
+    obs: Optional[Observability] = None,
 ) -> CommunitySimulator:
     """Construct a ready-to-run simulator for a scenario.
 
     The trace and role split depend only on the scenario seed, so two
     calls with different policies run against identical populations —
-    paired comparisons, as the paper's policy figures require.
+    paired comparisons, as the paper's policy figures require.  The
+    optional ``obs`` bundle is threaded into the simulator (and from
+    there the engine, nodes and choker); it never affects results.
     """
     trace = scenario.make_trace()
     roles = scenario.make_roles(trace, disobey_fraction, disobey_kind)
@@ -226,4 +230,5 @@ def build_simulation(
         config=scenario.bt_config,
         bc_config=scenario.bc_config,
         seed=scenario.seed,
+        obs=obs,
     )

@@ -28,7 +28,9 @@ from repro.graph.maxflow import (
     FlowResult,
     bounded_ford_fulkerson,
     ford_fulkerson,
+    kernel_invocations,
     maxflow_two_hop,
+    reset_kernel_invocations,
 )
 
 __all__ = [
@@ -38,4 +40,6 @@ __all__ = [
     "bounded_ford_fulkerson",
     "maxflow_two_hop",
     "maxflow_two_hop_batch",
+    "kernel_invocations",
+    "reset_kernel_invocations",
 ]

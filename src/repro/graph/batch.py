@@ -28,11 +28,15 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Iterable, Tuple
 
+from repro.graph.maxflow import KERNEL_INVOCATIONS
 from repro.graph.transfer_graph import TransferGraph
 
 __all__ = ["maxflow_two_hop_batch"]
 
 PeerId = Hashable
+
+KERNEL_INVOCATIONS.setdefault("maxflow_two_hop_batch", 0)
+KERNEL_INVOCATIONS.setdefault("maxflow_two_hop_batch_targets", 0)
 
 
 def maxflow_two_hop_batch(
@@ -59,6 +63,7 @@ def maxflow_two_hop_batch(
         :func:`~repro.graph.maxflow.maxflow_two_hop` call.
     """
     results: Dict[PeerId, Tuple[float, float]] = {}
+    KERNEL_INVOCATIONS["maxflow_two_hop_batch"] += 1
     if not graph.has_node(owner):
         for j in targets:
             if j != owner:
@@ -120,4 +125,5 @@ def maxflow_two_hop_batch(
                     outflow += min(c_sv, c_vt)
 
         results[j] = (inflow, outflow)
+    KERNEL_INVOCATIONS["maxflow_two_hop_batch_targets"] += len(results)
     return results

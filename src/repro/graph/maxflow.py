@@ -45,10 +45,34 @@ __all__ = [
     "ford_fulkerson",
     "bounded_ford_fulkerson",
     "maxflow_two_hop",
+    "kernel_invocations",
+    "reset_kernel_invocations",
 ]
 
 PeerId = Hashable
 Edge = Tuple[PeerId, PeerId]
+
+#: Process-wide kernel invocation counters (always-on: one dict increment
+#: per kernel call, negligible next to the kernel itself).  The
+#: observability layer snapshots deltas around a run and publishes them as
+#: ``rep.kernel.*`` gauges; :mod:`repro.graph.batch` registers its own key
+#: here too.
+KERNEL_INVOCATIONS: Dict[str, int] = {
+    "ford_fulkerson": 0,
+    "bounded_ford_fulkerson": 0,
+    "maxflow_two_hop": 0,
+}
+
+
+def kernel_invocations() -> Dict[str, int]:
+    """A copy of the cumulative per-kernel invocation counters."""
+    return dict(KERNEL_INVOCATIONS)
+
+
+def reset_kernel_invocations() -> None:
+    """Zero every kernel invocation counter (tests/benchmarks only)."""
+    for key in KERNEL_INVOCATIONS:
+        KERNEL_INVOCATIONS[key] = 0
 
 
 @dataclass
@@ -179,6 +203,7 @@ def ford_fulkerson(
     transfer graphs have integral byte weights in practice and the DFS
     terminates quickly on the small local graphs BarterCast builds.
     """
+    KERNEL_INVOCATIONS["ford_fulkerson"] += 1
     return _run_ford_fulkerson(graph, source, sink, max_hops=None, eps=eps)
 
 
@@ -201,6 +226,7 @@ def bounded_ford_fulkerson(
     """
     if max_hops < 1:
         raise ValueError(f"max_hops must be >= 1, got {max_hops}")
+    KERNEL_INVOCATIONS["bounded_ford_fulkerson"] += 1
     return _run_ford_fulkerson(graph, source, sink, max_hops=max_hops, eps=eps)
 
 
@@ -212,6 +238,7 @@ def maxflow_two_hop(graph: TransferGraph, source: PeerId, sink: PeerId) -> FlowR
     """
     if source == sink:
         raise ValueError("source and sink must differ")
+    KERNEL_INVOCATIONS["maxflow_two_hop"] += 1
     if not graph.has_node(source) or not graph.has_node(sink):
         return FlowResult(value=0.0, source=source, sink=sink)
     out_s = graph.successors(source)

@@ -1,0 +1,173 @@
+"""Observability: metrics, structured traces, and run manifests.
+
+The subsystem has three legs, all default-off with null-object defaults
+so an uninstrumented run pays (and changes) nothing:
+
+:mod:`repro.obs.metrics`
+    Counters, gauges, histograms with deterministic reservoir quantiles,
+    and re-entrant timer context managers, behind a
+    :class:`~repro.obs.metrics.MetricsRegistry`.
+:mod:`repro.obs.trace`
+    A JSONL span/event emitter with per-category deterministic sampling
+    (:class:`~repro.obs.trace.TraceEmitter`).
+:mod:`repro.obs.manifest`
+    Run manifests capturing config, seed, code revision, per-phase wall
+    time, and the final metrics snapshot
+    (:class:`~repro.obs.manifest.ManifestBuilder`).
+
+An :class:`Observability` bundle threads both live legs through the
+simulator stack; :data:`NULL_OBS` is the shared disabled bundle every
+constructor defaults to.  None of the instrumentation consumes the
+simulation's RNG streams, so an instrumented run is bit-identical to an
+uninstrumented one (pinned by ``tests/test_obs.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    ManifestBuilder,
+    describe,
+    git_revision,
+    read_manifest,
+)
+from repro.obs.metrics import (
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullMetricsRegistry,
+    Timer,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    TRACE_SCHEMA,
+    NullTraceEmitter,
+    TraceCategory,
+    TraceEmitter,
+    read_trace,
+)
+
+__all__ = [
+    "Observability",
+    "NULL_OBS",
+    "make_observability",
+    "parse_sample_spec",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_METRICS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "TraceEmitter",
+    "TraceCategory",
+    "NullTraceEmitter",
+    "NULL_TRACER",
+    "TRACE_SCHEMA",
+    "read_trace",
+    "ManifestBuilder",
+    "MANIFEST_SCHEMA",
+    "read_manifest",
+    "describe",
+    "git_revision",
+]
+
+
+@dataclass(frozen=True)
+class Observability:
+    """The bundle handed down through the simulator stack."""
+
+    metrics: MetricsRegistry = field(default_factory=lambda: NULL_METRICS)
+    tracer: TraceEmitter = field(default_factory=lambda: NULL_TRACER)
+
+    @property
+    def enabled(self) -> bool:
+        """Whether either leg is live."""
+        return self.metrics.enabled or self.tracer.enabled
+
+    def close(self) -> None:
+        """Flush and close the tracer (metrics need no teardown)."""
+        self.tracer.close()
+
+
+#: The shared disabled bundle — the default for every constructor.
+NULL_OBS = Observability(NULL_METRICS, NULL_TRACER)
+
+
+def make_observability(
+    metrics: bool = False,
+    trace_path: Optional[Union[str, Path]] = None,
+    trace_sample: Union[float, str, Dict[str, float], None] = 1.0,
+    seed: int = 0,
+) -> Observability:
+    """Construct the bundle the CLI flags describe.
+
+    Parameters
+    ----------
+    metrics:
+        Enable the metrics registry (``--metrics``).
+    trace_path:
+        Enable JSONL tracing to this path (``--trace PATH``).
+    trace_sample:
+        Either a global keep-rate, a ``{category: rate}`` dict, or a CLI
+        spec string accepted by :func:`parse_sample_spec`
+        (``--trace-sample``).
+    seed:
+        Seed of the deterministic trace-sampling streams.
+    """
+    if not metrics and trace_path is None:
+        return NULL_OBS
+    registry: MetricsRegistry = MetricsRegistry() if metrics else NULL_METRICS
+    tracer: TraceEmitter = NULL_TRACER
+    if trace_path is not None:
+        if isinstance(trace_sample, dict):
+            default_rate, rates = 1.0, dict(trace_sample)
+        elif isinstance(trace_sample, str):
+            default_rate, rates = parse_sample_spec(trace_sample)
+        else:
+            default_rate, rates = float(trace_sample if trace_sample is not None else 1.0), {}
+        tracer = TraceEmitter(
+            trace_path, sample_rates=rates, default_rate=default_rate, seed=seed
+        )
+    return Observability(metrics=registry, tracer=tracer)
+
+
+def parse_sample_spec(spec: str) -> Tuple[float, Dict[str, float]]:
+    """Parse a ``--trace-sample`` value.
+
+    Accepts a bare rate (``"0.1"``, applied to every category) or a
+    comma-separated list of ``category=rate`` pairs with an optional bare
+    default (``"0.05,bt.transfer=0.01,sim.event=0"``).  Returns
+    ``(default_rate, {category: rate})``.
+    """
+    default_rate = 1.0
+    rates: Dict[str, float] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" in part:
+            name, _, value = part.partition("=")
+            name = name.strip()
+            if not name:
+                raise ValueError(f"empty category in sample spec {spec!r}")
+            rates[name] = _parse_rate(value, spec)
+        else:
+            default_rate = _parse_rate(part, spec)
+    return default_rate, rates
+
+
+def _parse_rate(text: str, spec: str) -> float:
+    try:
+        rate = float(text)
+    except ValueError:
+        raise ValueError(f"bad sample rate {text!r} in spec {spec!r}") from None
+    if not 0.0 <= rate <= 1.0:
+        raise ValueError(f"sample rate {rate} out of [0, 1] in spec {spec!r}")
+    return rate

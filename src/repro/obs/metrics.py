@@ -1,0 +1,406 @@
+"""The metrics registry: counters, gauges, histograms, timers.
+
+A :class:`MetricsRegistry` is a flat namespace of named instruments:
+
+* :class:`Counter` — monotonically increasing totals (messages sent,
+  bytes moved, cache hits);
+* :class:`Gauge` — last-write-wins scalars (final cache sizes, aggregate
+  telemetry set once at the end of a run);
+* :class:`Histogram` — value distributions with deterministic reservoir
+  sampling for quantiles and optional fixed bucket bounds;
+* :class:`Timer` — a histogram of wall-clock seconds with a re-entrant
+  context-manager interface (``with registry.timer("bt.round_s"): ...``).
+
+Zero-overhead discipline
+------------------------
+The disabled default is :data:`NULL_METRICS`, a :class:`NullMetricsRegistry`
+whose instruments are shared no-op singletons.  Hot paths additionally
+guard instrumentation behind ``registry.enabled`` (or a cached ``None``)
+so that a disabled run executes *no* instrumentation calls at all — the
+only residue is one attribute check per guarded block.  The benchmark
+``benchmarks/bench_reputation_cache.py`` pins this overhead.
+
+Determinism
+-----------
+Nothing in this module consumes the simulation's RNG streams.  Histogram
+reservoirs use a private :class:`random.Random` seeded from the metric
+name, so snapshots are reproducible run-to-run for identical observation
+sequences.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+import zlib
+from random import Random
+from typing import Dict, List, Optional, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Timer",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_METRICS",
+]
+
+#: Default reservoir capacity for histogram quantiles.
+DEFAULT_RESERVOIR_SIZE = 1024
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative) to the total."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """A last-write-wins scalar."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        return {"type": "gauge", "value": self.value}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Gauge {self.name}={self.value}>"
+
+
+class Histogram:
+    """A value distribution.
+
+    Quantiles are estimated from a deterministic reservoir sample
+    (`Vitter's algorithm R`), seeded from the metric name so repeated
+    runs over the same observation sequence give identical snapshots.
+    Optional fixed ``bounds`` additionally maintain cumulative bucket
+    counts (``count of values <= bound``), which give exact coarse
+    quantiles at paper scale without storing samples.
+    """
+
+    __slots__ = (
+        "name",
+        "count",
+        "total",
+        "min",
+        "max",
+        "bounds",
+        "bucket_counts",
+        "_reservoir",
+        "_reservoir_size",
+        "_rng",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        bounds: Optional[Sequence[float]] = None,
+        reservoir_size: int = DEFAULT_RESERVOIR_SIZE,
+    ) -> None:
+        if reservoir_size <= 0:
+            raise ValueError("reservoir_size must be positive")
+        if bounds is not None:
+            bounds = [float(b) for b in bounds]
+            if bounds != sorted(bounds):
+                raise ValueError("histogram bounds must be sorted ascending")
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1) if bounds is not None else None
+        self._reservoir: List[float] = []
+        self._reservoir_size = int(reservoir_size)
+        self._rng = Random(zlib.crc32(name.encode("utf-8")))
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        if self.bucket_counts is not None:
+            self.bucket_counts[self._bucket_index(value)] += 1
+        res = self._reservoir
+        if len(res) < self._reservoir_size:
+            res.append(value)
+        else:
+            # Algorithm R: keep each of the first n observations with
+            # probability size/n — deterministic via the name-seeded RNG.
+            slot = self._rng.randrange(self.count)
+            if slot < self._reservoir_size:
+                res[slot] = value
+
+    def _bucket_index(self, value: float) -> int:
+        bounds = self.bounds
+        lo, hi = 0, len(bounds)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if value <= bounds[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    @property
+    def mean(self) -> float:
+        """Mean observation (NaN when empty)."""
+        return self.total / self.count if self.count else float("nan")
+
+    def quantile(self, q: float) -> float:
+        """Reservoir-estimated ``q``-quantile (NaN when empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._reservoir:
+            return float("nan")
+        ordered = sorted(self._reservoir)
+        idx = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
+        return ordered[idx]
+
+    def snapshot(self) -> dict:
+        out = {
+            "type": "histogram",
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean if self.count else None,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "p50": self.quantile(0.5) if self.count else None,
+            "p95": self.quantile(0.95) if self.count else None,
+            "p99": self.quantile(0.99) if self.count else None,
+        }
+        if self.bounds is not None:
+            out["bounds"] = list(self.bounds)
+            out["bucket_counts"] = list(self.bucket_counts)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Histogram {self.name} n={self.count} mean={self.mean:.4g}>"
+
+
+class Timer:
+    """A histogram of elapsed wall-clock seconds with ``with`` support.
+
+    Re-entrant: nested/overlapping uses keep a start-time stack, so a
+    timer instance can wrap recursive or interleaved sections safely.
+    """
+
+    __slots__ = ("histogram", "_starts")
+
+    def __init__(self, histogram: Histogram) -> None:
+        self.histogram = histogram
+        self._starts: List[float] = []
+
+    @property
+    def name(self) -> str:
+        return self.histogram.name
+
+    def observe(self, seconds: float) -> None:
+        """Record an externally measured duration."""
+        self.histogram.observe(seconds)
+
+    def __enter__(self) -> "Timer":
+        self._starts.append(time.perf_counter())
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.histogram.observe(time.perf_counter() - self._starts.pop())
+
+    def snapshot(self) -> dict:
+        out = self.histogram.snapshot()
+        out["type"] = "timer"
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Timer {self.name} n={self.histogram.count}>"
+
+
+class MetricsRegistry:
+    """A flat, lazily populated namespace of instruments.
+
+    Instruments are created on first access and memoized; re-requesting a
+    name returns the same instance, and requesting an existing name as a
+    different instrument type raises ``TypeError``.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    def _get(self, name: str, cls, factory):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+            return metric
+        if not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {type(metric).__name__}, "
+                f"requested {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge, lambda: Gauge(name))
+
+    def histogram(
+        self,
+        name: str,
+        bounds: Optional[Sequence[float]] = None,
+        reservoir_size: int = DEFAULT_RESERVOIR_SIZE,
+    ) -> Histogram:
+        return self._get(
+            name, Histogram, lambda: Histogram(name, bounds, reservoir_size)
+        )
+
+    def timer(self, name: str) -> Timer:
+        return self._get(name, Timer, lambda: Timer(Histogram(name)))
+
+    # ------------------------------------------------------------------
+    def names(self) -> List[str]:
+        """Registered metric names, sorted."""
+        return sorted(self._metrics)
+
+    def get(self, name: str):
+        """The instrument registered under ``name``, or ``None``."""
+        return self._metrics.get(name)
+
+    def value(self, name: str, default: float = 0.0) -> float:
+        """Convenience: the scalar value of a counter/gauge (or default)."""
+        metric = self._metrics.get(name)
+        if isinstance(metric, (Counter, Gauge)):
+            return metric.value
+        return default
+
+    def snapshot(self) -> Dict[str, dict]:
+        """JSON-safe dump of every instrument, keyed by name."""
+        return {name: self._metrics[name].snapshot() for name in sorted(self._metrics)}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MetricsRegistry metrics={len(self._metrics)}>"
+
+
+# ----------------------------------------------------------------------
+# Null objects — the zero-overhead disabled path.
+# ----------------------------------------------------------------------
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__("null")
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__("null")
+
+    def set(self, value: float) -> None:
+        pass
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__("null")
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+class _NullTimer(Timer):
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__(_NullHistogram())
+
+    def observe(self, seconds: float) -> None:
+        pass
+
+    def __enter__(self) -> "Timer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+class NullMetricsRegistry(MetricsRegistry):
+    """The null object: accepts every call, records nothing.
+
+    All instrument accessors return shared no-op singletons, so client
+    code can be written against the registry interface unconditionally;
+    perf-critical paths should still guard on :attr:`enabled`.
+    """
+
+    enabled = False
+
+    _COUNTER = _NullCounter()
+    _GAUGE = _NullGauge()
+    _HISTOGRAM = _NullHistogram()
+    _TIMER = _NullTimer()
+
+    def counter(self, name: str) -> Counter:
+        return self._COUNTER
+
+    def gauge(self, name: str) -> Gauge:
+        return self._GAUGE
+
+    def histogram(self, name, bounds=None, reservoir_size=DEFAULT_RESERVOIR_SIZE):
+        return self._HISTOGRAM
+
+    def timer(self, name: str) -> Timer:
+        return self._TIMER
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<NullMetricsRegistry>"
+
+
+#: Shared disabled registry — the default everywhere.
+NULL_METRICS = NullMetricsRegistry()

@@ -1,0 +1,117 @@
+"""Human-readable summary of a run's metrics.
+
+``render_report`` turns a :class:`~repro.obs.metrics.MetricsRegistry`
+snapshot into the terminal summary the CLI prints under ``--metrics``:
+the top timers by total wall time, message/transfer counters by name,
+derived rates (reputation-cache hit rate, events per second), and the
+maxflow kernel invocation counts.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.analysis.ascii_plot import render_table
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["render_report"]
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    return f"{seconds * 1e3:.2f}ms"
+
+
+def render_report(
+    registry: MetricsRegistry,
+    top_timers: int = 10,
+    wall_seconds: Optional[float] = None,
+) -> str:
+    """Render the metrics summary.
+
+    Parameters
+    ----------
+    registry:
+        The run's registry; a disabled registry renders a one-line note.
+    top_timers:
+        How many timers to show (sorted by total wall time).
+    wall_seconds:
+        Total run wall time, used for the events/sec derivation when the
+        engine's own dispatch timer is absent.
+    """
+    if not registry.enabled:
+        return "== Metrics ==\n(observability disabled; run with --metrics)"
+    snap = registry.snapshot()
+    lines: List[str] = ["== Metrics =="]
+
+    timers = {
+        name: s for name, s in snap.items() if s["type"] in ("timer", "histogram") and s["count"]
+    }
+    if timers:
+        ranked = sorted(timers.items(), key=lambda kv: -kv[1]["total"])[:top_timers]
+        lines.append("-- top timers (by total wall time) --")
+        lines.append(
+            render_table(
+                ["timer", "calls", "total", "mean", "p95", "max"],
+                [
+                    (
+                        name,
+                        s["count"],
+                        _fmt_seconds(s["total"]),
+                        _fmt_seconds(s["mean"]),
+                        _fmt_seconds(s["p95"]),
+                        _fmt_seconds(s["max"]),
+                    )
+                    for name, s in ranked
+                ],
+                "{}",
+            )
+        )
+
+    counters = {name: s for name, s in snap.items() if s["type"] == "counter"}
+    gauges = {name: s for name, s in snap.items() if s["type"] == "gauge"}
+    scalars = {**counters, **gauges}
+    if scalars:
+        lines.append("-- counters --")
+        lines.append(
+            render_table(
+                ["metric", "value"],
+                [(name, f"{s['value']:,.0f}") for name, s in sorted(scalars.items())],
+                "{}",
+            )
+        )
+
+    derived: List[str] = []
+    hits = registry.value("rep.cache.hits")
+    misses = registry.value("rep.cache.misses")
+    if hits + misses > 0:
+        derived.append(f"reputation cache hit rate: {hits / (hits + misses):.1%}")
+    events = registry.value("sim.events")
+    dispatch = registry.get("sim.dispatch_s")
+    total_dispatch = (
+        dispatch.snapshot().get("total") if dispatch is not None else None
+    )
+    if events:
+        if total_dispatch:
+            derived.append(
+                f"engine: {events:,.0f} events, "
+                f"{events / total_dispatch:,.0f} events/sec dispatch throughput"
+            )
+        elif wall_seconds:
+            derived.append(
+                f"engine: {events:,.0f} events, {events / wall_seconds:,.0f} events/sec wall"
+            )
+    kernel_calls = registry.value("rep.kernel.calls")
+    kernel_targets = registry.value("rep.kernel.targets")
+    if kernel_calls:
+        derived.append(
+            f"maxflow kernel: {kernel_calls:,.0f} invocations, "
+            f"{kernel_targets:,.0f} targets evaluated"
+        )
+    if derived:
+        lines.append("-- derived --")
+        lines.extend(derived)
+    if len(lines) == 1:
+        lines.append("(no metrics recorded)")
+    return "\n".join(lines)

@@ -70,4 +70,30 @@ class TestNewSubcommands:
         assert files == [
             "fig1a_reputation_over_time.tsv",
             "fig1b_contribution_vs_reputation.tsv",
+            "run_manifest.json",
         ]
+
+    def test_fig4_export(self, capsys, tmp_path):
+        target = tmp_path / "series"
+        assert (
+            cli.main(
+                ["fig4", "--peers", "300", "--seed", "3", "--export", str(target)]
+            )
+            == 0
+        )
+        files = sorted(p.name for p in target.iterdir())
+        assert files == [
+            "fig4a_net_contribution.tsv",
+            "fig4b_reputation_cdf.tsv",
+            "run_manifest.json",
+        ]
+
+    def test_all_fig4_peers_override(self, capsys, monkeypatch):
+        seen = {}
+
+        def fake_fig4(peers, seed, export_dir=None, obs=None, manifest=None):
+            seen["peers"] = peers
+
+        monkeypatch.setattr(cli, "_fig4", fake_fig4)
+        assert cli.main(["all", "--seed", "3", "--fig4-peers", "123"]) == 0
+        assert seen["peers"] == 123

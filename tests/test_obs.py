@@ -1,0 +1,355 @@
+"""Tests for the observability subsystem (metrics, traces, manifests).
+
+Covers the registry semantics, the null-object disabled path, trace JSONL
+schema round-trips, sampling determinism, manifest content, and the
+headline guarantee: a fully instrumented run produces numerically
+identical figure series to an uninstrumented one.
+"""
+
+import io
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments import ScenarioConfig, run_fig1
+from repro.obs import (
+    MANIFEST_SCHEMA,
+    NULL_METRICS,
+    NULL_OBS,
+    NULL_TRACER,
+    TRACE_SCHEMA,
+    ManifestBuilder,
+    MetricsRegistry,
+    Observability,
+    TraceEmitter,
+    make_observability,
+    parse_sample_spec,
+    read_manifest,
+    read_trace,
+)
+from repro.obs.report import render_report
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("msgs")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert reg.value("msgs") == 5
+
+    def test_counter_rejects_negative(self):
+        c = MetricsRegistry().counter("msgs")
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        g = MetricsRegistry().gauge("size")
+        g.set(7)
+        g.set(3)
+        g.inc(2)
+        assert g.value == 5
+
+
+class TestHistogramTimer:
+    def test_histogram_stats(self):
+        h = MetricsRegistry().histogram("lat")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == 10.0
+        assert h.min == 1.0
+        assert h.max == 4.0
+        assert h.mean == 2.5
+        assert h.quantile(0.0) == 1.0
+        assert h.quantile(1.0) == 4.0
+
+    def test_histogram_empty_quantile_nan(self):
+        h = MetricsRegistry().histogram("lat")
+        assert math.isnan(h.quantile(0.5))
+        assert math.isnan(h.mean)
+
+    def test_histogram_buckets(self):
+        h = MetricsRegistry().histogram("lat", bounds=[1.0, 10.0])
+        for v in (0.5, 0.7, 5.0, 50.0):
+            h.observe(v)
+        assert h.bucket_counts == [2, 1, 1]
+
+    def test_histogram_bounds_must_be_sorted(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("lat", bounds=[10.0, 1.0])
+
+    def test_reservoir_deterministic_across_registries(self):
+        a = MetricsRegistry().histogram("x")
+        b = MetricsRegistry().histogram("x")
+        values = [float(i % 37) for i in range(5000)]
+        for v in values:
+            a.observe(v)
+            b.observe(v)
+        assert a.quantile(0.5) == b.quantile(0.5)
+        assert a.snapshot() == b.snapshot()
+
+    def test_timer_context_manager(self):
+        reg = MetricsRegistry()
+        t = reg.timer("work_s")
+        with t:
+            pass
+        t.observe(0.5)
+        assert t.histogram.count == 2
+        assert t.histogram.max >= 0.5
+
+    def test_timer_reentrant(self):
+        t = MetricsRegistry().timer("work_s")
+        with t:
+            with t:
+                pass
+        assert t.histogram.count == 2
+
+
+class TestRegistry:
+    def test_memoizes_instruments(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert len(reg) == 1
+
+    def test_type_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError):
+            reg.gauge("a")
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(2)
+        reg.gauge("g").set(1)
+        reg.timer("t").observe(0.1)
+        snap = reg.snapshot()
+        assert snap["c"] == {"type": "counter", "value": 2.0}
+        assert snap["g"] == {"type": "gauge", "value": 1.0}
+        assert snap["t"]["type"] == "timer"
+        assert snap["t"]["count"] == 1
+        assert json.dumps(snap)  # JSON-safe
+
+    def test_null_registry_is_noop(self):
+        assert not NULL_METRICS.enabled
+        c = NULL_METRICS.counter("anything")
+        c.inc(100)
+        assert c.value == 0
+        NULL_METRICS.gauge("g").set(5)
+        with NULL_METRICS.timer("t"):
+            pass
+        h = NULL_METRICS.histogram("h")
+        h.observe(1.0)
+        assert h.count == 0
+        assert NULL_METRICS.counter("a") is NULL_METRICS.counter("b")
+
+
+class TestTrace:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "out" / "trace.jsonl"
+        with TraceEmitter(path, seed=7) as tracer:
+            cat = tracer.category("bt.transfer")
+            cat.emit("piece", sim_time=60.0, attrs={"up": 1, "bytes": 4096.0})
+            cat.emit("piece", sim_time=120.0)
+        header, events = read_trace(path)
+        assert header["schema"] == TRACE_SCHEMA
+        assert header["seed"] == 7
+        assert len(events) == 2
+        first = events[0]
+        assert first["seq"] == 1
+        assert first["cat"] == "bt.transfer"
+        assert first["name"] == "piece"
+        assert first["sim"] == 60.0
+        assert first["dur"] is None
+        assert first["attrs"] == {"up": 1, "bytes": 4096.0}
+        assert events[1]["seq"] == 2
+
+    def test_span_records_duration(self):
+        buf = io.StringIO()
+        tracer = TraceEmitter(buf)
+        with tracer.span("rep.kernel", "batch", sim_time=5.0):
+            pass
+        lines = [json.loads(l) for l in buf.getvalue().splitlines()]
+        assert lines[1]["dur"] is not None
+        assert lines[1]["dur"] >= 0.0
+
+    def test_sampling_deterministic(self):
+        def kept(seed):
+            tracer = TraceEmitter(io.StringIO(), default_rate=0.3, seed=seed)
+            cat = tracer.category("bt.round")
+            return [cat.emit(f"e{i}") for i in range(200)]
+
+        assert kept(11) == kept(11)
+        assert kept(11) != kept(12)
+        rate = sum(kept(11)) / 200
+        assert 0.1 < rate < 0.5
+
+    def test_rate_zero_and_one(self):
+        tracer = TraceEmitter(
+            io.StringIO(), sample_rates={"off": 0.0}, default_rate=1.0
+        )
+        assert not tracer.category("off").emit("x")
+        assert tracer.category("on").emit("x")
+        assert tracer.records_written == 1
+        assert tracer.records_sampled_out == 1
+
+    def test_read_trace_rejects_bad_schema(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"schema": "something-else"}\n')
+        with pytest.raises(ValueError):
+            read_trace(path)
+
+    def test_null_tracer_is_noop(self):
+        assert not NULL_TRACER.enabled
+        assert not NULL_TRACER.emit("cat", "name")
+        with NULL_TRACER.span("cat", "name"):
+            pass
+        assert NULL_TRACER.records_written == 0
+
+
+class TestObservabilityBundle:
+    def test_null_obs_disabled(self):
+        assert not NULL_OBS.enabled
+        NULL_OBS.close()  # no-op
+
+    def test_make_observability_defaults_to_null(self):
+        assert make_observability() is NULL_OBS
+
+    def test_make_observability_metrics_only(self):
+        obs = make_observability(metrics=True)
+        assert obs.metrics.enabled
+        assert not obs.tracer.enabled
+        assert obs.enabled
+
+    def test_make_observability_trace(self, tmp_path):
+        obs = make_observability(
+            trace_path=tmp_path / "t.jsonl", trace_sample="0.5,bt.transfer=0.1"
+        )
+        assert obs.tracer.enabled
+        assert obs.tracer.default_rate == 0.5
+        assert obs.tracer.sample_rates == {"bt.transfer": 0.1}
+        obs.close()
+
+    def test_parse_sample_spec(self):
+        assert parse_sample_spec("0.1") == (0.1, {})
+        assert parse_sample_spec("0.05,bt.transfer=0.01,sim.event=0") == (
+            0.05,
+            {"bt.transfer": 0.01, "sim.event": 0.0},
+        )
+        with pytest.raises(ValueError):
+            parse_sample_spec("1.5")
+        with pytest.raises(ValueError):
+            parse_sample_spec("bt.transfer=nope")
+
+
+class TestManifest:
+    def test_manifest_content(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("bc.messages_sent").inc(3)
+        builder = ManifestBuilder(
+            "fig1", args={"profile": "tiny"}, profile="tiny", seed=3
+        )
+        with builder.phase("simulate"):
+            pass
+        builder.note("note_key", {"nested": (1, 2)})
+        path = builder.write(tmp_path, metrics=reg, tracer=NULL_TRACER)
+        doc = read_manifest(path)
+        assert doc["schema"] == MANIFEST_SCHEMA
+        assert doc["command"] == "fig1"
+        assert doc["profile"] == "tiny"
+        assert doc["seed"] == 3
+        assert doc["args"] == {"profile": "tiny"}
+        assert "simulate" in doc["wall_seconds_by_phase"]
+        assert doc["metrics"]["bc.messages_sent"]["value"] == 3.0
+        assert doc["trace"] is None
+        assert doc["extra"]["note_key"] == {"nested": [1, 2]}
+        assert doc["package_version"]
+        assert doc["python"]
+
+    def test_manifest_dir_vs_file_destination(self, tmp_path):
+        builder = ManifestBuilder("fig2")
+        p1 = builder.write(tmp_path / "out")
+        assert p1.name == "run_manifest.json"
+        p2 = builder.write(tmp_path / "custom.json")
+        assert p2.name == "custom.json"
+        assert read_manifest(p2)["command"] == "fig2"
+
+    def test_read_manifest_rejects_bad_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": "nope"}')
+        with pytest.raises(ValueError):
+            read_manifest(path)
+
+
+class TestReport:
+    def test_disabled_note(self):
+        assert "disabled" in render_report(NULL_METRICS)
+
+    def test_report_sections(self):
+        reg = MetricsRegistry()
+        reg.counter("bc.messages_sent").inc(100)
+        reg.gauge("rep.cache.hits").set(90)
+        reg.gauge("rep.cache.misses").set(10)
+        reg.counter("sim.events").inc(1000)
+        reg.timer("sim.dispatch_s").observe(0.5)
+        reg.counter("rep.kernel.calls").inc(7)
+        reg.counter("rep.kernel.targets").inc(21)
+        out = render_report(reg)
+        assert "bc.messages_sent" in out
+        assert "90.0%" in out  # cache hit rate
+        assert "2,000 events/sec" in out
+        assert "7 invocations" in out
+        assert "21 targets" in out
+
+
+class TestInstrumentedRunIdentical:
+    def test_fig1_tiny_bit_identical(self, tmp_path):
+        scenario = ScenarioConfig.tiny(seed=3)
+        plain = run_fig1(scenario)
+        obs = make_observability(
+            metrics=True,
+            trace_path=tmp_path / "trace.jsonl",
+            trace_sample="0.5,bt.transfer=0.25",
+            seed=3,
+        )
+        instrumented = run_fig1(scenario, obs=obs)
+        obs.close()
+
+        np.testing.assert_array_equal(
+            plain.sharer_reputation, instrumented.sharer_reputation
+        )
+        np.testing.assert_array_equal(
+            plain.freerider_reputation, instrumented.freerider_reputation
+        )
+        np.testing.assert_array_equal(
+            plain.net_contribution_gb, instrumented.net_contribution_gb
+        )
+        np.testing.assert_array_equal(
+            plain.system_reputation, instrumented.system_reputation
+        )
+        assert plain.spearman == instrumented.spearman
+        assert plain.pearson == instrumented.pearson
+
+        # The instrumented leg actually recorded something.
+        reg = obs.metrics
+        assert reg.value("sim.events") > 0
+        assert reg.value("bt.rounds") > 0
+        assert reg.value("bc.messages_sent") > 0
+        header, events = read_trace(tmp_path / "trace.jsonl")
+        assert header["schema"] == TRACE_SCHEMA
+        assert events
+        cats = {e["cat"] for e in events}
+        assert "sim.event" in cats
+
+    def test_trace_sampling_reproducible_across_runs(self, tmp_path):
+        def run(path):
+            obs = make_observability(trace_path=path, trace_sample=0.3, seed=9)
+            run_fig1(ScenarioConfig.tiny(seed=3), obs=obs)
+            obs.close()
+            _, events = read_trace(path)
+            return [(e["cat"], e["name"], e["sim"]) for e in events]
+
+        assert run(tmp_path / "a.jsonl") == run(tmp_path / "b.jsonl")
