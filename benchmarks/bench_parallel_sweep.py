@@ -1,0 +1,153 @@
+"""Parallel sweep benchmark: serial vs ``--jobs 2`` / ``--jobs 4``.
+
+The workload is the fused ``all`` task pool — fig1, every fig2 policy
+condition, both fig3 panels, fig4 — exactly what ``python -m repro.cli
+all --jobs N`` fans out.  Each jobs level runs the identical task list;
+the benchmark records wall-clock per level and verifies the payloads are
+**bit-identical** across levels (the runner's core guarantee; see
+DESIGN.md §8).
+
+Honesty note: the speedup is bounded by the host — ``cpu_count`` is
+recorded in the artifact, and the full-scale speedup floor is only
+asserted when at least 4 cores are actually available.  On a 1-core
+container the pooled runs are *slower* (fork + pickling overhead with no
+parallelism to pay for it) and the artifact records that truthfully.
+
+Run standalone (``python benchmarks/bench_parallel_sweep.py [--smoke]``)
+or via pytest (``pytest benchmarks/bench_parallel_sweep.py -m bench
+[--bench-smoke]``).  Full-scale results land in ``BENCH_parallel.json``
+at the repository root.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+import pytest
+
+from repro.experiments import ScenarioConfig
+from repro.experiments.fig2 import fig2_tasks
+from repro.experiments.fig3 import fig3_tasks
+from repro.parallel import ParallelRunner, fig1_task, fig4_task, run_sweep
+
+pytestmark = pytest.mark.bench
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_parallel.json"
+
+#: Full scale: the ``all --profile fast`` pool; smoke: tiny + fewer levels.
+FULL_JOBS = (1, 2, 4)
+SMOKE_JOBS = (1, 2)
+
+
+def sweep_tasks(scenario: ScenarioConfig, fig4_peers: int) -> List[Any]:
+    """The fused ``all`` task pool (mirrors ``cli._all_parallel``)."""
+    return (
+        [fig1_task(scenario)]
+        + fig2_tasks(scenario)
+        + fig3_tasks(scenario, "ignore")
+        + fig3_tasks(scenario, "lie")
+        + [fig4_task(fig4_peers, scenario.seed)]
+    )
+
+
+def _payloads_equal(a: Any, b: Any) -> bool:
+    """Deep equality across the payload shapes the executors return
+    (dicts/tuples/lists of scalars and numpy arrays; NaN == NaN)."""
+    if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+        return (
+            isinstance(a, np.ndarray)
+            and isinstance(b, np.ndarray)
+            and a.dtype == b.dtype
+            and np.array_equal(a, b, equal_nan=a.dtype.kind == "f")
+        )
+    if isinstance(a, dict):
+        return (
+            isinstance(b, dict)
+            and a.keys() == b.keys()
+            and all(_payloads_equal(a[k], b[k]) for k in a)
+        )
+    if isinstance(a, (list, tuple)):
+        return (
+            isinstance(b, (list, tuple))
+            and len(a) == len(b)
+            and all(_payloads_equal(x, y) for x, y in zip(a, b))
+        )
+    if isinstance(a, float) and isinstance(b, float):
+        return a == b or (a != a and b != b)
+    return bool(a == b)
+
+
+def _results_equal(a: Any, b: Any) -> bool:
+    """Compare two payloads, descending into result dataclasses."""
+    if hasattr(a, "__dict__") and not isinstance(a, (dict, list, tuple, np.ndarray)):
+        return type(a) is type(b) and _payloads_equal(vars(a), vars(b))
+    return _payloads_equal(a, b)
+
+
+def run_bench(scenario: ScenarioConfig, fig4_peers: int, jobs_levels) -> Dict[str, Any]:
+    tasks = sweep_tasks(scenario, fig4_peers)
+    timings: Dict[str, float] = {}
+    reference: Optional[List[Any]] = None
+    identical = True
+    for jobs in jobs_levels:
+        runner = ParallelRunner(jobs=jobs) if jobs > 1 else None
+        t0 = time.perf_counter()
+        payloads = run_sweep(tasks, runner=runner)
+        timings[f"jobs_{jobs}"] = time.perf_counter() - t0
+        if reference is None:
+            reference = payloads
+        else:
+            identical = identical and len(payloads) == len(reference) and all(
+                _results_equal(p, r) for p, r in zip(payloads, reference)
+            )
+    serial = timings["jobs_1"]
+    return {
+        "profile": scenario.name,
+        "tasks": len(tasks),
+        "cpu_count": os.cpu_count(),
+        "seconds": timings,
+        "speedups": {
+            level: serial / seconds
+            for level, seconds in timings.items()
+            if level != "jobs_1"
+        },
+        "identical_payloads": identical,
+    }
+
+
+def write_results(payload: dict, path: Path = RESULT_PATH) -> None:
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def test_bench_parallel_sweep(bench_smoke, tmp_path):
+    if bench_smoke:
+        payload = run_bench(ScenarioConfig.tiny(), fig4_peers=200, jobs_levels=SMOKE_JOBS)
+        write_results(payload, tmp_path / "BENCH_parallel.json")
+    else:
+        payload = run_bench(ScenarioConfig.fast(), fig4_peers=1000, jobs_levels=FULL_JOBS)
+        write_results(payload)
+    assert payload["identical_payloads"]
+    for seconds in payload["seconds"].values():
+        assert seconds > 0
+    # The speedup floor only means something with real cores under it.
+    if not bench_smoke and (os.cpu_count() or 1) >= 4:
+        assert payload["speedups"]["jobs_4"] >= 2.5
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="tiny CI-sized run")
+    args = parser.parse_args()
+    if args.smoke:
+        payload = run_bench(ScenarioConfig.tiny(), fig4_peers=200, jobs_levels=SMOKE_JOBS)
+    else:
+        payload = run_bench(ScenarioConfig.fast(), fig4_peers=1000, jobs_levels=FULL_JOBS)
+        write_results(payload)
+    print(json.dumps(payload, indent=2, sort_keys=True))

@@ -43,7 +43,7 @@ from repro.bittorrent.stats import StatsCollector
 from repro.bittorrent.swarm import SwarmState
 from repro.core.node import BarterCastConfig, BarterCastNode
 from repro.core.policies import NoPolicy, ReputationPolicy
-from repro.graph import kernel_invocations
+from repro.graph import kernel_invocations_delta, snapshot_kernel_invocations
 from repro.obs import NULL_OBS, Observability
 from repro.pss.buddycast import BuddyCastPSS, OraclePSS, PeerSamplingService
 from repro.sim.engine import Simulator
@@ -127,7 +127,7 @@ class CommunitySimulator:
         self._tr_transfer = tracer.category("bt.transfer") if tracer.enabled else None
         self._tr_gossip = tracer.category("gossip.exchange") if tracer.enabled else None
         self._choker_obs = self.obs if self.obs.enabled else None
-        self._kernel_baseline = kernel_invocations()
+        self._kernel_baseline = snapshot_kernel_invocations()
 
         self.nodes: Dict[int, BarterCastNode] = {
             pid: BarterCastNode(
@@ -286,8 +286,8 @@ class CommunitySimulator:
         if self._t_round is not None:
             self._m_rounds.inc()
             self._t_round.observe(duration)
-        if self._tr_round is not None:
-            self._tr_round.emit(
+        if self._tr_round is not None and self._tr_round.sample():
+            self._tr_round.emit_sampled(
                 "round",
                 sim_time=self.engine.now,
                 attrs={"idx": self.round_idx, "online": len(self.online)},
@@ -431,8 +431,8 @@ class CommunitySimulator:
         if self._m_transfers is not None:
             self._m_transfers.inc()
             self._m_bytes.inc(actual)
-        if self._tr_transfer is not None:
-            self._tr_transfer.emit(
+        if self._tr_transfer is not None and self._tr_transfer.sample():
+            self._tr_transfer.emit_sampled(
                 "piece_transfer",
                 sim_time=now,
                 attrs={
@@ -508,8 +508,8 @@ class CommunitySimulator:
             self._m_gossip.inc()
             if lost:
                 self._m_gossip_lost.inc(lost)
-        if self._tr_gossip is not None:
-            self._tr_gossip.emit(
+        if self._tr_gossip is not None and self._tr_gossip.sample():
+            self._tr_gossip.emit_sampled(
                 "exchange", sim_time=now, attrs={"a": a, "b": b, "lost": lost}
             )
 
@@ -528,10 +528,11 @@ class CommunitySimulator:
         metrics = self.obs.metrics
         if metrics.enabled:
             # Publish this run's share of the module-level kernel counters
-            # (delta against the counts at construction time).
-            for kernel, count in kernel_invocations().items():
-                delta = count - self._kernel_baseline.get(kernel, 0)
-                metrics.gauge(f"rep.kernel.{kernel}").set(delta)
+            # (delta against the counts at construction time).  Gauges
+            # accumulate across runs sharing one registry so that a serial
+            # sweep and a merged multi-process sweep report the same totals.
+            for kernel, delta in kernel_invocations_delta(self._kernel_baseline).items():
+                metrics.gauge(f"rep.kernel.{kernel}").inc(delta)
         return self.stats
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

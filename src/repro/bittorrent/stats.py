@@ -95,30 +95,34 @@ class StatsCollector:
     def record_cache_telemetry(
         self, hits: int, misses: int, invalidations: int
     ) -> None:
-        """Publish cumulative reputation-cache counters (totals; latest wins).
+        """Publish cumulative reputation-cache counters (this run's totals).
 
         The simulator aggregates the per-node ``rep_cache_*`` counters
-        over the whole population at the end of a run; they land in
-        :attr:`metrics` as ``rep.cache.*`` gauges.
+        over the whole population at the end of a run.  The exact totals
+        are kept on this collector (per-run properties below); the shared
+        ``rep.cache.*`` gauges *accumulate* across runs, so a registry
+        spanning several simulations — serial or merged from parallel
+        workers — reports the same process-wide totals either way.
         """
-        self.metrics.gauge("rep.cache.hits").set(int(hits))
-        self.metrics.gauge("rep.cache.misses").set(int(misses))
-        self.metrics.gauge("rep.cache.invalidations").set(int(invalidations))
+        self._rep_cache_totals = (int(hits), int(misses), int(invalidations))
+        self.metrics.gauge("rep.cache.hits").inc(int(hits))
+        self.metrics.gauge("rep.cache.misses").inc(int(misses))
+        self.metrics.gauge("rep.cache.invalidations").inc(int(invalidations))
 
     @property
     def rep_cache_hits(self) -> int:
-        """Aggregate cache hits (from the ``rep.cache.hits`` gauge)."""
-        return int(self.metrics.value("rep.cache.hits"))
+        """Aggregate cache hits of this run."""
+        return getattr(self, "_rep_cache_totals", (0, 0, 0))[0]
 
     @property
     def rep_cache_misses(self) -> int:
-        """Aggregate cache misses (from the ``rep.cache.misses`` gauge)."""
-        return int(self.metrics.value("rep.cache.misses"))
+        """Aggregate cache misses of this run."""
+        return getattr(self, "_rep_cache_totals", (0, 0, 0))[1]
 
     @property
     def rep_cache_invalidations(self) -> int:
-        """Aggregate invalidations (from the ``rep.cache.invalidations`` gauge)."""
-        return int(self.metrics.value("rep.cache.invalidations"))
+        """Aggregate invalidations of this run."""
+        return getattr(self, "_rep_cache_totals", (0, 0, 0))[2]
 
     def cache_hit_rate(self) -> float:
         """Fraction of reputation lookups served from the cache.

@@ -22,6 +22,12 @@ Observability flags (available on every subcommand):
 ``--trace-sample RATE``
     Trace sampling: a global keep-rate (``0.1``) or per-category spec
     (``0.05,bt.transfer=0.01``).
+``--jobs N``
+    Fan independent sweep points out to ``N`` worker processes
+    (:mod:`repro.parallel`).  Results are bit-identical to ``--jobs 1``;
+    ``all --jobs N`` pools every figure's tasks so workers stay busy
+    across figure boundaries.  Tracing forces ``--jobs 1`` (one trace
+    stream, one process).
 
 When ``--export DIR`` or ``--trace`` is given, a ``run_manifest.json``
 capturing config, seed, code revision, per-phase wall time, and the final
@@ -78,6 +84,14 @@ def _build_parser() -> argparse.ArgumentParser:
             default=None,
             help="trace sampling: global rate ('0.1') or per-category "
             "spec ('0.05,bt.transfer=0.01')",
+        )
+        p.add_argument(
+            "--jobs",
+            type=int,
+            default=1,
+            metavar="N",
+            help="worker processes for independent sweep points "
+            "(1 = serial; results are bit-identical at any level)",
         )
 
     def add_common(p: argparse.ArgumentParser) -> None:
@@ -149,9 +163,15 @@ def _fig1(
     export_dir=None,
     obs: Optional[Observability] = None,
     manifest: Optional[ManifestBuilder] = None,
+    runner=None,
 ) -> None:
     with manifest.phase("fig1"):
-        result = run_fig1(scenario, obs=obs)
+        if runner is not None:
+            from repro.parallel import fig1_task, run_sweep
+
+            result = run_sweep([fig1_task(scenario)], runner=runner)[0]
+        else:
+            result = run_fig1(scenario, obs=obs)
     print(report.report_fig1(result))
     from repro.analysis.export import export_fig1
 
@@ -164,9 +184,10 @@ def _fig2(
     export_dir=None,
     obs: Optional[Observability] = None,
     manifest: Optional[ManifestBuilder] = None,
+    runner=None,
 ) -> None:
     with manifest.phase("fig2"):
-        result = run_fig2(scenario, obs=obs)
+        result = run_fig2(scenario, obs=obs, runner=runner)
     print(report.report_fig2(result))
     from repro.analysis.export import export_fig2
 
@@ -180,13 +201,14 @@ def _fig3(
     export_dir=None,
     obs: Optional[Observability] = None,
     manifest: Optional[ManifestBuilder] = None,
+    runner=None,
 ) -> None:
     from repro.analysis.export import export_fig3
 
     kinds = ("ignore", "lie") if kind == "both" else (kind,)
     for k in kinds:
         with manifest.phase(f"fig3-{k}"):
-            result = run_fig3(scenario, kind=k, obs=obs)
+            result = run_fig3(scenario, kind=k, obs=obs, runner=runner)
         print(report.report_fig3(result))
         print()
         with manifest.phase("export"):
@@ -199,10 +221,15 @@ def _fig4(
     export_dir=None,
     obs: Optional[Observability] = None,
     manifest: Optional[ManifestBuilder] = None,
+    runner=None,
 ) -> None:
-    params = DeploymentParams(num_peers=peers)
     with manifest.phase("fig4"):
-        result = run_fig4(params, seed=seed, obs=obs)
+        if runner is not None:
+            from repro.parallel import fig4_task, run_sweep
+
+            result = run_sweep([fig4_task(peers, seed)], runner=runner)[0]
+        else:
+            result = run_fig4(DeploymentParams(num_peers=peers), seed=seed, obs=obs)
     print(report.report_fig4(result))
     from repro.analysis.export import export_fig4
 
@@ -210,18 +237,18 @@ def _fig4(
         _maybe_export(export_fig4(result), export_dir)
 
 
-def _whitewash(seed: int, manifest: ManifestBuilder) -> None:
+def _whitewash(seed: int, manifest: ManifestBuilder, runner=None) -> None:
     from repro.analysis.ascii_plot import render_table
-    from repro.experiments import run_whitewash
+    from repro.parallel import run_sweep, whitewash_tasks
 
-    rows = []
+    kinds = ("trusted", "static", "adaptive")
     with manifest.phase("whitewash"):
-        for kind in ("trusted", "static", "adaptive"):
-            r = run_whitewash(kind, seed=seed)
-            rows.append(
-                (kind, r.service["newcomer"], r.service["washer"],
-                 r.washer_advantage, r.identities_burned, r.prior_trajectory[-1])
-            )
+        results = run_sweep(whitewash_tasks(seed, kinds), runner=runner)
+    rows = [
+        (kind, r.service["newcomer"], r.service["washer"],
+         r.washer_advantage, r.identities_burned, r.prior_trajectory[-1])
+        for kind, r in zip(kinds, results)
+    ]
     print("== Whitewashing defenses (paper 3.5 / future work) ==")
     print(render_table(
         ["stranger policy", "newcomer units", "washer units",
@@ -230,7 +257,7 @@ def _whitewash(seed: int, manifest: ManifestBuilder) -> None:
     ))
 
 
-def _scalability(peers: int, seed: int, manifest: ManifestBuilder) -> None:
+def _scalability(peers: int, seed: int, manifest: ManifestBuilder, runner=None) -> None:
     from repro.analysis.ascii_plot import render_table
     from repro.experiments import run_scalability
 
@@ -238,7 +265,14 @@ def _scalability(peers: int, seed: int, manifest: ManifestBuilder) -> None:
     if not sizes or sizes[-1] != peers:
         sizes.append(peers)
     with manifest.phase("scalability"):
-        result = run_scalability(sizes=tuple(sizes), seed=seed)
+        if runner is not None:
+            # Internally sequential (the view grows incrementally), so this
+            # is one task — pooled only for crash isolation, not speedup.
+            from repro.parallel import run_sweep, scalability_task
+
+            result = run_sweep([scalability_task(tuple(sizes), seed)], runner=runner)[0]
+        else:
+            result = run_scalability(sizes=tuple(sizes), seed=seed)
     print("== Scalability of the subjective view (future work) ==")
     print(render_table(
         ["known peers", "edges", "query us", "batch us", "warm us", "ingest us/record"],
@@ -252,6 +286,58 @@ def _scalability(peers: int, seed: int, manifest: ManifestBuilder) -> None:
     print(f"query growth factor across sizes: {result.query_growth_factor():.2f}")
     if not math.isnan(result.cache_hit_rate):
         print(f"reputation cache hit rate: {result.cache_hit_rate:.1%}")
+
+
+def _all_parallel(
+    scenario: ScenarioConfig,
+    fig4_peers: int,
+    seed: int,
+    export_dir=None,
+    manifest: Optional[ManifestBuilder] = None,
+    runner=None,
+) -> None:
+    """``all`` under ``--jobs N``: one fused task pool across every figure.
+
+    Pooling all figures' sweep points together keeps workers busy across
+    figure boundaries (a lone fig1/fig4 task would otherwise serialize the
+    sweep).  Reports and exports replay in the exact serial order.
+    """
+    from repro.analysis.export import export_fig1, export_fig2, export_fig3, export_fig4
+    from repro.experiments.fig2 import assemble_fig2, fig2_tasks
+    from repro.experiments.fig3 import assemble_fig3, fig3_tasks
+    from repro.parallel import fig1_task, fig4_task, run_sweep
+
+    t2 = fig2_tasks(scenario)
+    t3a = fig3_tasks(scenario, "ignore")
+    t3b = fig3_tasks(scenario, "lie")
+    tasks = [fig1_task(scenario)] + t2 + t3a + t3b + [fig4_task(fig4_peers, seed)]
+    with manifest.phase("figures"):
+        payloads = run_sweep(tasks, runner=runner)
+    pos = 1
+    fig2_res = assemble_fig2(payloads[pos:pos + len(t2)])
+    pos += len(t2)
+    fig3_ignore = assemble_fig3(payloads[pos:pos + len(t3a)], "ignore")
+    pos += len(t3a)
+    fig3_lie = assemble_fig3(payloads[pos:pos + len(t3b)], "lie")
+    pos += len(t3b)
+
+    print(report.report_fig1(payloads[0]))
+    with manifest.phase("export"):
+        _maybe_export(export_fig1(payloads[0]), export_dir)
+    print()
+    print(report.report_fig2(fig2_res))
+    with manifest.phase("export"):
+        _maybe_export(export_fig2(fig2_res), export_dir)
+    print()
+    for fig3_res in (fig3_ignore, fig3_lie):
+        print(report.report_fig3(fig3_res))
+        print()
+        with manifest.phase("export"):
+            _maybe_export(export_fig3(fig3_res), export_dir)
+    print()
+    print(report.report_fig4(payloads[pos]))
+    with manifest.phase("export"):
+        _maybe_export(export_fig4(payloads[pos]), export_dir)
 
 
 def _manifest_destination(args: argparse.Namespace) -> Optional[Path]:
@@ -283,35 +369,59 @@ def main(argv: Optional[List[str]] = None) -> int:
         seed=getattr(args, "seed", None),
     )
     export_dir = getattr(args, "export", None)
+    jobs = int(getattr(args, "jobs", 1) or 1)
+    if jobs > 1 and obs.tracer.enabled:
+        print(
+            "[parallel] --trace writes a single event stream; forcing --jobs 1",
+            file=sys.stderr,
+        )
+        jobs = 1
+    runner = None
+    if jobs > 1:
+        from repro.parallel import ParallelRunner
+
+        runner = ParallelRunner(jobs=jobs, obs=obs)
     try:
         if args.command == "fig4":
-            _fig4(args.peers, args.seed, export_dir, obs, manifest)
+            _fig4(args.peers, args.seed, export_dir, obs, manifest, runner)
         elif args.command == "whitewash":
-            _whitewash(args.seed, manifest)
+            _whitewash(args.seed, manifest, runner)
         elif args.command == "scalability":
-            _scalability(args.peers, args.seed, manifest)
+            _scalability(args.peers, args.seed, manifest, runner)
         else:
             scenario = ScenarioConfig.named(args.profile, seed=args.seed)
             manifest.config = None if scenario is None else _describe_scenario(scenario)
             if args.command == "fig1":
-                _fig1(scenario, export_dir, obs, manifest)
+                _fig1(scenario, export_dir, obs, manifest, runner)
             elif args.command == "fig2":
-                _fig2(scenario, export_dir, obs, manifest)
+                _fig2(scenario, export_dir, obs, manifest, runner)
             elif args.command == "fig3":
-                _fig3(scenario, args.kind, export_dir, obs, manifest)
+                _fig3(scenario, args.kind, export_dir, obs, manifest, runner)
             elif args.command == "all":
-                _fig1(scenario, export_dir, obs, manifest)
-                print()
-                _fig2(scenario, export_dir, obs, manifest)
-                print()
-                _fig3(scenario, "both", export_dir, obs, manifest)
-                print()
                 fig4_peers = args.fig4_peers
                 if fig4_peers is None:
                     fig4_peers = 1000 if args.profile != "paper" else 5000
-                _fig4(fig4_peers, args.seed, export_dir, obs, manifest)
+                if runner is not None:
+                    _all_parallel(
+                        scenario, fig4_peers, args.seed, export_dir, manifest, runner
+                    )
+                else:
+                    _fig1(scenario, export_dir, obs, manifest)
+                    print()
+                    _fig2(scenario, export_dir, obs, manifest)
+                    print()
+                    _fig3(scenario, "both", export_dir, obs, manifest)
+                    print()
+                    _fig4(fig4_peers, args.seed, export_dir, obs, manifest)
     finally:
         obs.close()
+    if runner is not None and runner.run_history:
+        manifest.note(
+            "parallel",
+            runner.run_history[0]
+            if len(runner.run_history) == 1
+            else runner.run_history,
+        )
     if obs.metrics.enabled:
         print()
         print(render_report(obs.metrics, wall_seconds=time.time() - t0))

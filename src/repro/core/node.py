@@ -179,8 +179,8 @@ class BarterCastNode:
             self.messages_sent += 1
             if self._m_sent is not None:
                 self._m_sent.inc()
-            if self._tr_msg is not None:
-                self._tr_msg.emit(
+            if self._tr_msg is not None and self._tr_msg.sample():
+                self._tr_msg.emit_sampled(
                     "send",
                     sim_time=now,
                     attrs={"sender": self.peer_id, "records": msg.num_records},
@@ -200,8 +200,8 @@ class BarterCastNode:
         applied = self.shared.ingest(message)
         if self._m_recv is not None:
             self._m_recv.inc()
-        if self._tr_msg is not None:
-            self._tr_msg.emit(
+        if self._tr_msg is not None and self._tr_msg.sample():
+            self._tr_msg.emit_sampled(
                 "receive",
                 sim_time=message.created_at,
                 attrs={
@@ -291,8 +291,10 @@ class BarterCastNode:
             self._m_kernel_targets.inc()
         else:
             value = self.config.metric.reputation(self.graph, self.peer_id, peer)
-        if self._tr_kernel is not None:
-            self._tr_kernel.emit("scalar", attrs={"owner": self.peer_id, "targets": 1})
+        if self._tr_kernel is not None and self._tr_kernel.sample():
+            self._tr_kernel.emit_sampled(
+                "scalar", attrs={"owner": self.peer_id, "targets": 1}
+            )
         return value
 
     def reputations_of(self, peers: Iterable[PeerId]) -> Dict[PeerId, float]:
@@ -338,8 +340,8 @@ class BarterCastNode:
                 fresh = self.config.metric.reputation_batch(
                     self.graph, self.peer_id, missing
                 )
-            if self._tr_kernel is not None:
-                self._tr_kernel.emit(
+            if self._tr_kernel is not None and self._tr_kernel.sample():
+                self._tr_kernel.emit_sampled(
                     "batch", attrs={"owner": self.peer_id, "targets": len(missing)}
                 )
             if self.cache_mode != "off":

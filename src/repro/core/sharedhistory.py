@@ -139,8 +139,8 @@ class SubjectiveSharedHistory:
         if self._m_applied is not None:
             self._m_applied.inc(applied)
             self._m_dropped.inc(message.num_records - applied)
-        if self._tr_merge is not None:
-            self._tr_merge.emit(
+        if self._tr_merge is not None and self._tr_merge.sample():
+            self._tr_merge.emit_sampled(
                 "ingest",
                 sim_time=message.created_at,
                 attrs={

@@ -14,8 +14,20 @@ who wins, crossover ordering — hold in both; see EXPERIMENTS.md).
 
 from repro.experiments.scenario import ScenarioConfig, build_simulation
 from repro.experiments.fig1 import Fig1Result, run_fig1
-from repro.experiments.fig2 import Fig2Result, run_fig2
-from repro.experiments.fig3 import Fig3Result, run_fig3
+from repro.experiments.fig2 import (
+    Fig2Result,
+    assemble_fig2,
+    fig2_tasks,
+    run_fig2,
+    run_fig2_policy,
+)
+from repro.experiments.fig3 import (
+    Fig3Result,
+    assemble_fig3,
+    fig3_tasks,
+    run_fig3,
+    run_fig3_point,
+)
 from repro.experiments.fig4 import Fig4Result, run_fig4
 from repro.experiments.whitewash import (
     WhitewashParams,
@@ -36,8 +48,14 @@ __all__ = [
     "run_fig1",
     "Fig2Result",
     "run_fig2",
+    "run_fig2_policy",
+    "fig2_tasks",
+    "assemble_fig2",
     "Fig3Result",
     "run_fig3",
+    "run_fig3_point",
+    "fig3_tasks",
+    "assemble_fig3",
     "Fig4Result",
     "run_fig4",
     "WhitewashParams",

@@ -20,7 +20,7 @@ policy comparisons are paired.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -29,7 +29,14 @@ from repro.core.policies import BanPolicy, RankPolicy
 from repro.experiments.scenario import ScenarioConfig, build_simulation
 from repro.obs import Observability
 
-__all__ = ["Fig2Result", "run_fig2", "speed_series_kbps"]
+__all__ = [
+    "Fig2Result",
+    "run_fig2",
+    "run_fig2_policy",
+    "fig2_tasks",
+    "assemble_fig2",
+    "speed_series_kbps",
+]
 
 DAY = 86400.0
 KB = 1024.0
@@ -94,43 +101,120 @@ class Fig2Result:
         return float(freerider[idx] / sharer[idx])
 
 
+def run_fig2_policy(
+    scenario: ScenarioConfig,
+    policy: str,
+    delta: Optional[float] = None,
+    obs: Optional[Observability] = None,
+) -> Dict[str, np.ndarray]:
+    """One Figure 2 condition: a single policy run on the shared population.
+
+    ``policy`` is ``"rank"`` or ``"ban"`` (the latter takes ``delta``).
+    Returns the day-binned speed series ``{"days", "sharers",
+    "freeriders"}`` — the picklable unit payload of the parallel sweep.
+    """
+    if policy == "rank":
+        policy_obj = RankPolicy()
+    elif policy == "ban":
+        if delta is None:
+            raise ValueError("ban policy requires a delta")
+        policy_obj = BanPolicy(delta)
+    else:
+        raise ValueError(f"unknown fig2 policy {policy!r}")
+    sim = build_simulation(scenario, policy=policy_obj, obs=obs)
+    stats = sim.run()
+    days, sharer = speed_series_kbps(stats, sim.roles.sharers)
+    _, freerider = speed_series_kbps(stats, sim.roles.freeriders)
+    return {"days": days, "sharers": sharer, "freeriders": freerider}
+
+
+def _sweep_deltas(
+    deltas: Sequence[float], ban_delta: float
+) -> Tuple[float, ...]:
+    if ban_delta not in deltas:
+        return tuple(deltas) + (ban_delta,)
+    return tuple(deltas)
+
+
+def fig2_tasks(
+    scenario: ScenarioConfig,
+    deltas: Sequence[float] = (-0.3, -0.5, -0.7),
+    ban_delta: float = -0.5,
+) -> List[Any]:
+    """The independent sweep tasks of Figure 2, in canonical order.
+
+    One task per policy run: rank first, then one ban run per δ.  Feed
+    the resulting payload list (any execution order, merged back into
+    task order) to :func:`assemble_fig2`.
+    """
+    from repro.parallel import SweepTask
+
+    tasks = [
+        SweepTask(
+            task_id="fig2/rank",
+            experiment="fig2_policy",
+            params={"scenario": scenario, "policy": "rank"},
+            seed=scenario.seed,
+            profile=scenario.name,
+        )
+    ]
+    for delta in _sweep_deltas(deltas, ban_delta):
+        tasks.append(
+            SweepTask(
+                task_id=f"fig2/ban{delta:g}",
+                experiment="fig2_policy",
+                params={"scenario": scenario, "policy": "ban", "delta": delta},
+                seed=scenario.seed,
+                profile=scenario.name,
+            )
+        )
+    return tasks
+
+
+def assemble_fig2(
+    payloads: Sequence[Dict[str, np.ndarray]],
+    deltas: Sequence[float] = (-0.3, -0.5, -0.7),
+    ban_delta: float = -0.5,
+) -> Fig2Result:
+    """Merge per-task payloads (in :func:`fig2_tasks` order) into the result."""
+    sweep = _sweep_deltas(deltas, ban_delta)
+    if len(payloads) != 1 + len(sweep):
+        raise ValueError(
+            f"expected {1 + len(sweep)} fig2 payloads, got {len(payloads)}"
+        )
+    rank = payloads[0]
+    delta_sweep: Dict[float, np.ndarray] = {}
+    ban: Dict[str, np.ndarray] = {}
+    for delta, payload in zip(sweep, payloads[1:]):
+        delta_sweep[delta] = payload["freeriders"]
+        if delta == ban_delta:
+            ban = {"sharers": payload["sharers"], "freeriders": payload["freeriders"]}
+    return Fig2Result(
+        days=rank["days"],
+        rank={"sharers": rank["sharers"], "freeriders": rank["freeriders"]},
+        ban=ban,
+        ban_delta=ban_delta,
+        delta_sweep=delta_sweep,
+    )
+
+
 def run_fig2(
     scenario: ScenarioConfig = None,
     deltas: Sequence[float] = (-0.3, -0.5, -0.7),
     ban_delta: float = -0.5,
     obs: Optional[Observability] = None,
+    runner=None,
 ) -> Fig2Result:
-    """Run all Figure 2 conditions (rank, ban, δ sweep) on one population."""
+    """Run all Figure 2 conditions (rank, ban, δ sweep) on one population.
+
+    With ``runner`` (a :class:`repro.parallel.ParallelRunner`) the policy
+    runs fan out across worker processes; the default executes them
+    serially in-process.  Both paths produce bit-identical results: each
+    condition is an independently seeded simulation.
+    """
     if scenario is None:
         scenario = ScenarioConfig.fast()
-    if ban_delta not in deltas:
-        deltas = tuple(deltas) + (ban_delta,)
+    from repro.parallel import run_sweep
 
-    results: Dict[str, Dict[str, np.ndarray]] = {}
-    days_axis: np.ndarray = np.empty(0)
-    delta_sweep: Dict[float, np.ndarray] = {}
-
-    # Rank policy run.
-    sim = build_simulation(scenario, policy=RankPolicy(), obs=obs)
-    stats = sim.run()
-    days_axis, sharer = speed_series_kbps(stats, sim.roles.sharers)
-    _, freerider = speed_series_kbps(stats, sim.roles.freeriders)
-    results["rank"] = {"sharers": sharer, "freeriders": freerider}
-
-    # Ban policy runs (one per delta; δ = ban_delta doubles as panel b).
-    for delta in deltas:
-        sim = build_simulation(scenario, policy=BanPolicy(delta), obs=obs)
-        stats = sim.run()
-        _, sharer = speed_series_kbps(stats, sim.roles.sharers)
-        _, freerider = speed_series_kbps(stats, sim.roles.freeriders)
-        delta_sweep[delta] = freerider
-        if delta == ban_delta:
-            results["ban"] = {"sharers": sharer, "freeriders": freerider}
-
-    return Fig2Result(
-        days=days_axis,
-        rank=results["rank"],
-        ban=results["ban"],
-        ban_delta=ban_delta,
-        delta_sweep=delta_sweep,
-    )
+    payloads = run_sweep(fig2_tasks(scenario, deltas, ban_delta), runner=runner, obs=obs)
+    return assemble_fig2(payloads, deltas, ban_delta)

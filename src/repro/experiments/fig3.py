@@ -17,7 +17,7 @@ below roughly 18 % liars.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -25,7 +25,13 @@ from repro.core.policies import BanPolicy
 from repro.experiments.scenario import ScenarioConfig, build_simulation
 from repro.obs import Observability
 
-__all__ = ["Fig3Result", "run_fig3"]
+__all__ = [
+    "Fig3Result",
+    "run_fig3",
+    "run_fig3_point",
+    "fig3_tasks",
+    "assemble_fig3",
+]
 
 KB = 1024.0
 
@@ -57,40 +63,107 @@ class Fig3Result:
             return self.freerider_speed_kbps / self.sharer_speed_kbps
 
 
-def run_fig3(
-    scenario: ScenarioConfig = None,
-    kind: str = "ignore",
-    percentages: Sequence[float] = (0, 10, 20, 30, 40, 50),
-    delta: float = -0.5,
-    obs: Optional[Observability] = None,
-) -> Fig3Result:
-    """Sweep the disobeying fraction for one manipulation kind."""
+def _validate_kind_and_percentages(
+    scenario: ScenarioConfig, kind: str, percentages: Sequence[float]
+) -> None:
     if kind not in ("ignore", "lie"):
         raise ValueError(f"unknown manipulation kind {kind!r}")
-    if scenario is None:
-        scenario = ScenarioConfig.fast()
     max_pct = scenario.freerider_fraction * 100.0
     for pct in percentages:
         if pct > max_pct + 1e-9:
             raise ValueError(
                 f"{pct}% disobeying exceeds the freerider fraction ({max_pct}%)"
             )
-    sharer_speeds: List[float] = []
-    freerider_speeds: List[float] = []
-    for pct in percentages:
-        sim = build_simulation(
-            scenario,
-            policy=BanPolicy(delta),
-            disobey_fraction=pct / 100.0,
-            disobey_kind=kind if pct > 0 else None,
-            obs=obs,
+
+
+def run_fig3_point(
+    scenario: ScenarioConfig,
+    kind: str,
+    pct: float,
+    delta: float = -0.5,
+    obs: Optional[Observability] = None,
+) -> Tuple[float, float]:
+    """One Figure 3 sweep point: one simulation at ``pct`` % disobeyers.
+
+    Returns ``(sharer_speed_kbps, freerider_speed_kbps)`` — the picklable
+    unit payload of the parallel sweep.
+    """
+    sim = build_simulation(
+        scenario,
+        policy=BanPolicy(delta),
+        disobey_fraction=pct / 100.0,
+        disobey_kind=kind if pct > 0 else None,
+        obs=obs,
+    )
+    stats = sim.run()
+    return (
+        stats.group_mean_speed(sim.roles.sharers) / KB,
+        stats.group_mean_speed(sim.roles.freeriders) / KB,
+    )
+
+
+def fig3_tasks(
+    scenario: ScenarioConfig,
+    kind: str = "ignore",
+    percentages: Sequence[float] = (0, 10, 20, 30, 40, 50),
+    delta: float = -0.5,
+) -> List[Any]:
+    """The independent sweep tasks of one Figure 3 panel, in sweep order."""
+    _validate_kind_and_percentages(
+        scenario if scenario is not None else ScenarioConfig.fast(), kind, percentages
+    )
+    from repro.parallel import SweepTask
+
+    return [
+        SweepTask(
+            task_id=f"fig3/{kind}/{pct:g}pct",
+            experiment="fig3_point",
+            params={"scenario": scenario, "kind": kind, "pct": float(pct), "delta": delta},
+            seed=scenario.seed,
+            profile=scenario.name,
         )
-        stats = sim.run()
-        sharer_speeds.append(stats.group_mean_speed(sim.roles.sharers) / KB)
-        freerider_speeds.append(stats.group_mean_speed(sim.roles.freeriders) / KB)
+        for pct in percentages
+    ]
+
+
+def assemble_fig3(
+    payloads: Sequence[Tuple[float, float]],
+    kind: str,
+    percentages: Sequence[float] = (0, 10, 20, 30, 40, 50),
+) -> Fig3Result:
+    """Merge per-point payloads (in sweep order) into the panel result."""
+    if len(payloads) != len(percentages):
+        raise ValueError(
+            f"expected {len(percentages)} fig3 payloads, got {len(payloads)}"
+        )
     return Fig3Result(
         kind=kind,
         percentages=np.asarray(percentages, dtype=float),
-        sharer_speed_kbps=np.asarray(sharer_speeds),
-        freerider_speed_kbps=np.asarray(freerider_speeds),
+        sharer_speed_kbps=np.asarray([p[0] for p in payloads]),
+        freerider_speed_kbps=np.asarray([p[1] for p in payloads]),
     )
+
+
+def run_fig3(
+    scenario: ScenarioConfig = None,
+    kind: str = "ignore",
+    percentages: Sequence[float] = (0, 10, 20, 30, 40, 50),
+    delta: float = -0.5,
+    obs: Optional[Observability] = None,
+    runner=None,
+) -> Fig3Result:
+    """Sweep the disobeying fraction for one manipulation kind.
+
+    With ``runner`` (a :class:`repro.parallel.ParallelRunner`) the sweep
+    points fan out across worker processes; the default runs them
+    serially in-process.  Both paths are bit-identical: every point is an
+    independently seeded simulation.
+    """
+    if scenario is None:
+        scenario = ScenarioConfig.fast()
+    from repro.parallel import run_sweep
+
+    payloads = run_sweep(
+        fig3_tasks(scenario, kind, percentages, delta), runner=runner, obs=obs
+    )
+    return assemble_fig3(payloads, kind, percentages)

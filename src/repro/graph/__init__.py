@@ -29,8 +29,11 @@ from repro.graph.maxflow import (
     bounded_ford_fulkerson,
     ford_fulkerson,
     kernel_invocations,
+    kernel_invocations_delta,
     maxflow_two_hop,
+    merge_kernel_invocations,
     reset_kernel_invocations,
+    snapshot_kernel_invocations,
 )
 
 __all__ = [
@@ -41,5 +44,8 @@ __all__ = [
     "maxflow_two_hop",
     "maxflow_two_hop_batch",
     "kernel_invocations",
+    "snapshot_kernel_invocations",
+    "kernel_invocations_delta",
+    "merge_kernel_invocations",
     "reset_kernel_invocations",
 ]

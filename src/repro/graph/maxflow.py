@@ -36,7 +36,7 @@ the iterative kernels, the per-edge flow assignment for inspection.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, Hashable, List, Mapping, Optional, Tuple
 
 from repro.graph.transfer_graph import TransferGraph
 
@@ -46,6 +46,9 @@ __all__ = [
     "bounded_ford_fulkerson",
     "maxflow_two_hop",
     "kernel_invocations",
+    "snapshot_kernel_invocations",
+    "kernel_invocations_delta",
+    "merge_kernel_invocations",
     "reset_kernel_invocations",
 ]
 
@@ -67,6 +70,43 @@ KERNEL_INVOCATIONS: Dict[str, int] = {
 def kernel_invocations() -> Dict[str, int]:
     """A copy of the cumulative per-kernel invocation counters."""
     return dict(KERNEL_INVOCATIONS)
+
+
+def snapshot_kernel_invocations() -> Dict[str, int]:
+    """An immutable-by-copy snapshot of the counters, for later deltas.
+
+    Pair with :func:`kernel_invocations_delta` to attribute kernel calls
+    to one section of work (a simulation run, a sweep task) without
+    resetting the process-wide totals.
+    """
+    return dict(KERNEL_INVOCATIONS)
+
+
+def kernel_invocations_delta(baseline: Mapping[str, int]) -> Dict[str, int]:
+    """Per-kernel calls since ``baseline`` (a prior snapshot).
+
+    Kernels registered after the snapshot (e.g. the batch kernel key on
+    first use) count from zero.  Only non-zero deltas are returned.
+    """
+    return {
+        kernel: count - baseline.get(kernel, 0)
+        for kernel, count in KERNEL_INVOCATIONS.items()
+        if count - baseline.get(kernel, 0)
+    }
+
+
+def merge_kernel_invocations(delta: Mapping[str, int]) -> None:
+    """Fold a delta from another process into this process's counters.
+
+    The parallel sweep runner ships each worker's
+    :func:`kernel_invocations_delta` back with its task result and merges
+    it here, so the parent's counters stay truthful under multi-process
+    fan-out.  Deltas must be non-negative.
+    """
+    for kernel, count in delta.items():
+        if count < 0:
+            raise ValueError(f"negative kernel delta for {kernel!r}: {count}")
+        KERNEL_INVOCATIONS[kernel] = KERNEL_INVOCATIONS.get(kernel, 0) + count
 
 
 def reset_kernel_invocations() -> None:

@@ -205,6 +205,32 @@ class Histogram:
             out["bucket_counts"] = list(self.bucket_counts)
         return out
 
+    def merge_snapshot_dict(self, snap: dict) -> None:
+        """Fold another histogram's :meth:`snapshot` into this one.
+
+        ``count``, ``total``, ``min``, ``max`` and (matching) bucket
+        counts merge exactly; the quantile reservoir cannot be rebuilt
+        from a snapshot, so post-merge quantiles reflect only locally
+        observed values (the parallel-execution DESIGN section documents
+        this).
+        """
+        merged = int(snap.get("count") or 0)
+        if merged <= 0:
+            return
+        self.count += merged
+        self.total += float(snap.get("total") or 0.0)
+        if snap.get("min") is not None and snap["min"] < self.min:
+            self.min = float(snap["min"])
+        if snap.get("max") is not None and snap["max"] > self.max:
+            self.max = float(snap["max"])
+        if (
+            self.bounds is not None
+            and snap.get("bounds") == list(self.bounds)
+            and snap.get("bucket_counts") is not None
+        ):
+            for i, c in enumerate(snap["bucket_counts"]):
+                self.bucket_counts[i] += int(c)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Histogram {self.name} n={self.count} mean={self.mean:.4g}>"
 
@@ -312,6 +338,41 @@ class MetricsRegistry:
         """JSON-safe dump of every instrument, keyed by name."""
         return {name: self._metrics[name].snapshot() for name in sorted(self._metrics)}
 
+    def merge_snapshot(self, snapshot: Dict[str, dict]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        This is how the parallel sweep runner keeps metrics truthful
+        under multi-process fan-out: each worker runs with its own
+        registry and ships the snapshot home with its task result.
+        Merge semantics per instrument type:
+
+        * counters add — totals equal what a serial run would count;
+        * gauges add — run-scoped gauges (e.g. ``rep.kernel.*``) are
+          per-run deltas, so summing matches the serial accumulation;
+        * histograms/timers merge ``count``/``total``/``min``/``max``
+          (and bucket counts when bounds match) exactly; quantiles
+          reflect only locally observed values.
+
+        Instruments are created on demand, so merging into a fresh
+        registry reconstructs the full namespace.  Names are merged in
+        sorted order, making the result independent of worker
+        completion order.
+        """
+        for name in sorted(snapshot):
+            snap = snapshot[name]
+            kind = snap.get("type")
+            if kind == "counter":
+                self.counter(name).inc(float(snap.get("value") or 0.0))
+            elif kind == "gauge":
+                self.gauge(name).inc(float(snap.get("value") or 0.0))
+            elif kind == "timer":
+                self.timer(name).histogram.merge_snapshot_dict(snap)
+            elif kind == "histogram":
+                bounds = snap.get("bounds")
+                self.histogram(name, bounds=bounds).merge_snapshot_dict(snap)
+            # Unknown instrument types are skipped: a newer worker snapshot
+            # must not crash an older parent.
+
     def __len__(self) -> int:
         return len(self._metrics)
 
@@ -397,6 +458,10 @@ class NullMetricsRegistry(MetricsRegistry):
 
     def timer(self, name: str) -> Timer:
         return self._TIMER
+
+    def merge_snapshot(self, snapshot: Dict[str, dict]) -> None:
+        # No-op: merging into the shared null singletons would mutate them.
+        pass
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "<NullMetricsRegistry>"

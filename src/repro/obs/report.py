@@ -18,6 +18,8 @@ __all__ = ["render_report"]
 
 
 def _fmt_seconds(seconds: float) -> str:
+    if seconds != seconds:  # NaN: e.g. quantiles of merged worker snapshots
+        return "-"
     if seconds >= 1.0:
         return f"{seconds:.2f}s"
     return f"{seconds * 1e3:.2f}ms"

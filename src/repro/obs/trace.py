@@ -103,6 +103,36 @@ class TraceCategory:
         self.emitter._write(self.name, name, sim_time, attrs, duration_s)
         return True
 
+    def sample(self) -> bool:
+        """Consume one sampling decision; pair with :meth:`emit_sampled`.
+
+        Hot paths use the split form so the event's attr dict is only
+        constructed for kept events::
+
+            if cat is not None and cat.sample():
+                cat.emit_sampled("piece_transfer", now, attrs={...})
+
+        The decision stream is the same one :meth:`emit` consumes (one
+        draw per decision), so splitting changes neither which events
+        survive nor the trace bytes — only who pays for the attrs.
+        Rejections are counted as sampled-out here, exactly as
+        :meth:`emit` would.
+        """
+        if self.should_sample():
+            return True
+        self.emitter.records_sampled_out += 1
+        return False
+
+    def emit_sampled(
+        self,
+        name: str,
+        sim_time: Optional[float] = None,
+        attrs: Optional[dict] = None,
+        duration_s: Optional[float] = None,
+    ) -> None:
+        """Write one event unconditionally; caller already passed :meth:`sample`."""
+        self.emitter._write(self.name, name, sim_time, attrs, duration_s)
+
     def span(self, name: str, sim_time: Optional[float] = None, attrs: Optional[dict] = None):
         """Context manager emitting one span record with wall duration."""
         if not self.should_sample():
@@ -300,8 +330,14 @@ class _NullCategory(TraceCategory):
     def should_sample(self) -> bool:
         return False
 
+    def sample(self) -> bool:
+        return False
+
     def emit(self, name, sim_time=None, attrs=None, duration_s=None) -> bool:
         return False
+
+    def emit_sampled(self, name, sim_time=None, attrs=None, duration_s=None) -> None:
+        pass
 
     def span(self, name, sim_time=None, attrs=None):
         return _NULL_CONTEXT

@@ -15,8 +15,11 @@ essential for reproducible trace-based experiments.
 
 Cancellation is handled by tombstoning: ``Event.cancel()`` marks the event
 dead and the main loop skips dead events when they surface.  This is O(1)
-per cancellation and keeps the heap operations simple; the memory overhead
-is bounded because every tombstone is popped at most once.
+per cancellation and keeps the heap operations simple.  To bound memory on
+cancel-heavy workloads, the simulator counts live tombstones and compacts
+the heap (filter + ``heapify``) whenever dead events outnumber live ones
+and the queue is non-trivially sized; compaction preserves the
+``(time, seq)`` total order exactly, so firing order is unaffected.
 
 Observability: pass an :class:`~repro.obs.Observability` bundle to count
 and time dispatched callbacks (``sim.events`` counter, ``sim.dispatch_s``
@@ -73,10 +76,16 @@ class Event:
     callback: Callable[[], None]
     label: str = ""
     _cancelled: bool = field(default=False, repr=False)
+    _on_cancel: Optional[Callable[[], None]] = field(
+        default=None, repr=False, compare=False
+    )
 
     def cancel(self) -> None:
         """Mark this event dead; it will be skipped when it surfaces."""
-        self._cancelled = True
+        if not self._cancelled:
+            self._cancelled = True
+            if self._on_cancel is not None:
+                self._on_cancel()
 
     @property
     def cancelled(self) -> bool:
@@ -112,12 +121,18 @@ class Simulator:
     [1.0, 5.0]
     """
 
+    #: Queues smaller than this are never compacted — the rebuild would
+    #: cost more than the tombstones' memory is worth.
+    COMPACT_MIN_QUEUE = 64
+
     def __init__(self, start_time: float = 0.0, obs: Optional[Observability] = None) -> None:
         self._now = float(start_time)
         self._queue: list[tuple[float, int, Event]] = []
         self._counter = itertools.count()
         self._running = False
         self._events_fired = 0
+        self._tombstones = 0
+        self._compactions = 0
         self.obs = obs if obs is not None else NULL_OBS
         metrics = self.obs.metrics
         self._m_events = metrics.counter("sim.events") if metrics.enabled else None
@@ -178,7 +193,13 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} before current time t={self._now}"
             )
-        event = Event(time=float(time), seq=next(self._counter), callback=callback, label=label)
+        event = Event(
+            time=float(time),
+            seq=next(self._counter),
+            callback=callback,
+            label=label,
+            _on_cancel=self._note_cancel,
+        )
         heapq.heappush(self._queue, (event.time, event.seq, event))
         return event
 
@@ -268,6 +289,42 @@ class Simulator:
     def _drop_dead_head(self) -> None:
         while self._queue and self._queue[0][2].cancelled:
             heapq.heappop(self._queue)
+            if self._tombstones > 0:
+                self._tombstones -= 1
+
+    # ------------------------------------------------------------------
+    # Tombstone compaction
+    # ------------------------------------------------------------------
+    @property
+    def compactions(self) -> int:
+        """Number of heap compactions performed (diagnostics)."""
+        return self._compactions
+
+    def _note_cancel(self) -> None:
+        """Cancel hook installed on every scheduled event.
+
+        Counts the tombstone and compacts the heap once dead events
+        outnumber live ones, so a long cancel-heavy run holds O(live)
+        memory instead of O(cancelled).
+        """
+        self._tombstones += 1
+        if (
+            len(self._queue) >= self.COMPACT_MIN_QUEUE
+            and self._tombstones * 2 > len(self._queue)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without tombstones.
+
+        ``heapify`` over the same ``(time, seq, event)`` tuples restores
+        an equivalent heap — the comparison key is untouched — so event
+        firing order is bit-identical with or without compaction.
+        """
+        self._queue = [entry for entry in self._queue if not entry[2].cancelled]
+        heapq.heapify(self._queue)
+        self._tombstones = 0
+        self._compactions += 1
 
     # ------------------------------------------------------------------
     # Debugging helpers

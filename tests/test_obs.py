@@ -353,3 +353,36 @@ class TestInstrumentedRunIdentical:
             return [(e["cat"], e["name"], e["sim"]) for e in events]
 
         assert run(tmp_path / "a.jsonl") == run(tmp_path / "b.jsonl")
+
+
+class TestLazyTraceAttrs:
+    """sample()/emit_sampled() must share emit()'s decision stream."""
+
+    def _collect(self, tmp_path, name, use_split):
+        path = tmp_path / f"{name}.jsonl"
+        obs = make_observability(trace_path=path, trace_sample=0.4, seed=11)
+        cat = obs.tracer.category("bt.transfer")
+        for i in range(200):
+            if use_split:
+                if cat.sample():
+                    cat.emit_sampled("piece", float(i), attrs={"i": i})
+            else:
+                cat.emit("piece", float(i), attrs={"i": i})
+        sampled_out = obs.tracer.records_sampled_out
+        obs.close()
+        _, events = read_trace(path)
+        return [(e["name"], e["sim"], e["attrs"]) for e in events], sampled_out
+
+    def test_split_form_keeps_identical_events(self, tmp_path):
+        eager, out_eager = self._collect(tmp_path, "eager", use_split=False)
+        lazy, out_lazy = self._collect(tmp_path, "lazy", use_split=True)
+        assert eager == lazy
+        assert out_eager == out_lazy > 0
+        assert 0 < len(eager) < 200  # the gate actually dropped some
+
+    def test_null_category_sample_is_false(self):
+        from repro.obs import NULL_TRACER
+
+        cat = NULL_TRACER.category("anything")
+        assert cat.sample() is False
+        cat.emit_sampled("never", 0.0)  # must be a harmless no-op

@@ -1,0 +1,297 @@
+"""Tests for the parallel sweep runner (:mod:`repro.parallel`).
+
+The load-bearing property is *bit-identity*: any ``--jobs`` level — and
+any crash/retry schedule — must produce exactly the results of the
+serial path.  Everything else (crash isolation, timeouts, merge
+bookkeeping) exists in service of that guarantee.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.experiments import ScenarioConfig
+from repro.graph.maxflow import (
+    kernel_invocations_delta,
+    merge_kernel_invocations,
+    snapshot_kernel_invocations,
+)
+from repro.obs import MetricsRegistry, Observability
+from repro.parallel import (
+    EXECUTORS,
+    ParallelRunner,
+    SweepError,
+    SweepTask,
+    execute_task,
+    fig1_task,
+    run_sweep,
+    whitewash_tasks,
+)
+
+
+def echo_tasks(n):
+    return [
+        SweepTask(task_id=f"echo/{i}", experiment="_echo", params={"i": i})
+        for i in range(n)
+    ]
+
+
+class TestSweepTask:
+    def test_task_is_picklable(self):
+        task = fig1_task(ScenarioConfig.tiny())
+        clone = pickle.loads(pickle.dumps(task))
+        assert clone.task_id == task.task_id
+        assert clone.params["scenario"].seed == task.params["scenario"].seed
+        assert clone.params["scenario"].name == task.params["scenario"].name
+
+    def test_with_attempt_preserves_identity(self):
+        task = echo_tasks(1)[0]
+        retry = task.with_attempt(2)
+        assert retry.attempt == 2
+        assert (retry.task_id, retry.experiment, retry.params) == (
+            task.task_id,
+            task.experiment,
+            task.params,
+        )
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(KeyError):
+            execute_task(SweepTask(task_id="x", experiment="no-such-experiment"))
+
+    def test_all_figure_executors_registered(self):
+        for name in ("fig1", "fig2_policy", "fig3_point", "fig4",
+                     "whitewash", "scalability"):
+            assert name in EXECUTORS
+
+
+class TestKernelCounterMerge:
+    def test_snapshot_delta_merge_roundtrip(self):
+        base = snapshot_kernel_invocations()
+        merge_kernel_invocations({"maxflow": 3, "novel_kernel": 2})
+        delta = kernel_invocations_delta(base)
+        assert delta["maxflow"] == 3
+        assert delta["novel_kernel"] == 2
+        # merging the delta back doubles it relative to the baseline
+        merge_kernel_invocations(delta)
+        assert kernel_invocations_delta(base)["maxflow"] == 6
+
+    def test_merge_rejects_negative(self):
+        with pytest.raises(ValueError):
+            merge_kernel_invocations({"maxflow": -1})
+
+    def test_delta_ignores_untouched_kernels(self):
+        base = snapshot_kernel_invocations()
+        assert kernel_invocations_delta(base) == {}
+
+
+class TestRunnerBasics:
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(jobs=0)
+
+    def test_empty_task_list(self):
+        assert ParallelRunner(jobs=2).run([]) == []
+
+    def test_inline_matches_pool(self):
+        tasks = echo_tasks(6)
+        inline = run_sweep(tasks)
+        pooled = run_sweep(tasks, runner=ParallelRunner(jobs=2))
+        assert inline == pooled == [{"i": i} for i in range(6)]
+
+    def test_pool_uses_multiple_workers(self):
+        runner = ParallelRunner(jobs=2)
+        runner.run(echo_tasks(8))
+        info = runner.last_run_info
+        assert info["mode"] == "pool"
+        pids = {t["worker_pid"] for t in info["tasks"]}
+        assert len(pids) == 2
+
+    def test_results_keyed_by_task_order(self):
+        # Tasks with wildly different durations still merge in task order.
+        tasks = [
+            SweepTask(
+                task_id=f"sleep/{i}",
+                experiment="_sleep",
+                params={"seconds": 0.2 if i == 0 else 0.0, "hang_attempts": 99},
+            )
+            for i in range(4)
+        ]
+        results = ParallelRunner(jobs=2).run(tasks)
+        assert [r.task_id for r in results] == [t.task_id for t in tasks]
+
+    def test_tracer_forces_inline(self, tmp_path):
+        from repro.obs import make_observability
+
+        obs = make_observability(trace_path=tmp_path / "t.jsonl")
+        try:
+            runner = ParallelRunner(jobs=4, obs=obs)
+            runner.run(echo_tasks(3))
+        finally:
+            obs.close()
+        assert runner.last_run_info["mode"] == "inline"
+        assert runner.last_run_info["forced_inline_tracing"] is True
+
+
+class TestCrashIsolation:
+    def test_crashing_worker_is_retried(self):
+        tasks = echo_tasks(4)
+        tasks.insert(2, SweepTask(task_id="crash", experiment="_crash", params={}))
+        runner = ParallelRunner(jobs=2, retries=1)
+        payloads = [r.payload for r in runner.run(tasks)]
+        assert payloads[2] == {"survived": True, "attempt": 1}
+        assert [p for i, p in enumerate(payloads) if i != 2] == [
+            {"i": i} for i in range(4)
+        ]
+        assert runner.last_run_info["pool_rebuilds"] >= 1
+
+    def test_permanent_crash_raises_sweep_error(self):
+        bad = [
+            SweepTask(
+                task_id="crash-forever",
+                experiment="_crash",
+                params={"crash_attempts": 99},
+            )
+        ]
+        with pytest.raises(SweepError) as err:
+            ParallelRunner(jobs=2, retries=1).run(bad)
+        assert err.value.failures[0][0].task_id == "crash-forever"
+
+    def test_timeout_then_retry_succeeds(self):
+        slow = [
+            SweepTask(
+                task_id="slow",
+                experiment="_sleep",
+                params={"seconds": 1.5, "hang_attempts": 1},
+            )
+        ]
+        runner = ParallelRunner(jobs=2, retries=1, timeout_s=0.4)
+        results = runner.run(slow)
+        assert results[0].payload == {"slept": True, "attempt": 1}
+        assert runner.last_run_info["timeouts"] == 1
+
+    def test_zero_retries_fails_fast(self):
+        bad = [SweepTask(task_id="c", experiment="_crash", params={})]
+        with pytest.raises(SweepError):
+            ParallelRunner(jobs=2, retries=0).run(bad)
+
+
+class TestExperimentIdentity:
+    """Serial vs parallel bit-identity on real (tiny) experiments."""
+
+    def test_fig2_bit_identical(self):
+        from repro.experiments import run_fig2
+
+        scenario = ScenarioConfig.tiny()
+        serial = run_fig2(scenario)
+        pooled = run_fig2(scenario, runner=ParallelRunner(jobs=2))
+        assert (serial.days == pooled.days).all()
+        for key in ("sharers", "freeriders"):
+            assert np.array_equal(serial.rank[key], pooled.rank[key], equal_nan=True)
+            assert np.array_equal(serial.ban[key], pooled.ban[key], equal_nan=True)
+        for delta in serial.delta_sweep:
+            assert np.array_equal(
+                serial.delta_sweep[delta], pooled.delta_sweep[delta], equal_nan=True
+            )
+
+    def test_fig3_bit_identical_under_crash_retry(self):
+        """Identity holds even when a crash forces a pool rebuild mid-sweep."""
+        from repro.experiments import fig3_tasks, assemble_fig3, run_fig3
+
+        scenario = ScenarioConfig.tiny()
+        pcts = (0, 25, 50)
+        serial = run_fig3(scenario, kind="ignore", percentages=pcts)
+        tasks = fig3_tasks(scenario, "ignore", pcts)
+        tasks.insert(1, SweepTask(task_id="crash", experiment="_crash", params={}))
+        payloads = run_sweep(tasks, runner=ParallelRunner(jobs=2, retries=1))
+        del payloads[1]  # drop the crash fixture's payload
+        pooled = assemble_fig3(payloads, "ignore", pcts)
+        assert np.array_equal(
+            serial.sharer_speed_kbps, pooled.sharer_speed_kbps, equal_nan=True
+        )
+        assert np.array_equal(
+            serial.freerider_speed_kbps, pooled.freerider_speed_kbps, equal_nan=True
+        )
+
+    def test_whitewash_identity(self):
+        from repro.experiments import run_whitewash
+
+        serial = [run_whitewash(k, seed=7) for k in ("trusted", "static")]
+        pooled = run_sweep(
+            whitewash_tasks(7, ("trusted", "static")), runner=ParallelRunner(jobs=2)
+        )
+        for s, p in zip(serial, pooled):
+            assert s.service == p.service
+            assert s.identities_burned == p.identities_burned
+
+
+class TestMetricsMerge:
+    def test_kernel_and_metric_totals_match_serial(self):
+        from repro.experiments import run_fig3
+
+        scenario = ScenarioConfig.tiny()
+        pcts = (0, 50)
+
+        serial_metrics = MetricsRegistry()
+        serial_base = snapshot_kernel_invocations()
+        run_fig3(scenario, kind="ignore", percentages=pcts,
+                 obs=Observability(metrics=serial_metrics))
+        serial_kernels = kernel_invocations_delta(serial_base)
+
+        pooled_metrics = MetricsRegistry()
+        pooled_obs = Observability(metrics=pooled_metrics)
+        pooled_base = snapshot_kernel_invocations()
+        run_fig3(scenario, kind="ignore", percentages=pcts, obs=pooled_obs,
+                 runner=ParallelRunner(jobs=2, obs=pooled_obs))
+        pooled_kernels = kernel_invocations_delta(pooled_base)
+
+        assert serial_kernels == pooled_kernels
+        s1, s2 = serial_metrics.snapshot(), pooled_metrics.snapshot()
+        assert sorted(s1) == sorted(s2)
+        for name in s1:
+            kind = s1[name]["type"]
+            if kind in ("counter", "gauge"):
+                assert s1[name]["value"] == pytest.approx(s2[name]["value"]), name
+            else:  # timers/histograms measure wall time; only counts merge
+                assert s1[name]["count"] == s2[name]["count"], name
+
+
+class TestCliJobs:
+    @pytest.fixture(autouse=True)
+    def tiny_profiles(self, monkeypatch):
+        monkeypatch.setattr(
+            ScenarioConfig,
+            "named",
+            classmethod(lambda cls, profile, seed=42: ScenarioConfig.tiny(seed)),
+        )
+
+    def test_fig2_export_byte_identical(self, capsys, tmp_path):
+        from repro import cli
+
+        d1, d2 = tmp_path / "j1", tmp_path / "j2"
+        assert cli.main(["fig2", "--seed", "3", "--export", str(d1)]) == 0
+        assert cli.main(
+            ["fig2", "--seed", "3", "--export", str(d2), "--jobs", "2"]
+        ) == 0
+        capsys.readouterr()
+        files = sorted(p.name for p in d1.glob("*.tsv"))
+        assert files
+        for name in files:
+            assert (d1 / name).read_bytes() == (d2 / name).read_bytes()
+
+    def test_all_jobs_manifest_notes_partition(self, capsys, tmp_path):
+        import json
+
+        from repro import cli
+
+        out = tmp_path / "out"
+        assert cli.main(
+            ["all", "--seed", "3", "--jobs", "2", "--metrics", "--export", str(out)]
+        ) == 0
+        capsys.readouterr()
+        manifest = json.loads((out / "run_manifest.json").read_text())
+        note = manifest["extra"]["parallel"]
+        assert note["mode"] == "pool"
+        assert note["jobs"] == 2
+        # fig1 + fig2 (rank + 3 deltas) + fig3 (2 kinds x 6 pcts) + fig4
+        assert len(note["tasks"]) == 18

@@ -205,3 +205,59 @@ class TestCancellation:
         ev1.cancel()
         labels = [ev.label for ev in sim.pending()]
         assert labels == ["b"]
+
+
+class TestHeapCompaction:
+    def make_churny_sim(self, n=400):
+        """Schedule ``n`` far-future events, then cancel most of them from
+        an early event — the cancel-heavy pattern (timeout timers, choke
+        rotations) that used to leave the heap full of tombstones."""
+        sim = Simulator()
+        fired = []
+        events = [
+            sim.schedule(10.0 + i, (lambda i=i: fired.append(i)), label=f"e{i}")
+            for i in range(n)
+        ]
+        return sim, events, fired
+
+    def test_compaction_triggers_and_shrinks_heap(self):
+        sim, events, _ = self.make_churny_sim()
+        for ev in events[: len(events) - 10]:
+            ev.cancel()
+        assert sim.compactions >= 1
+        # physical heap is bounded by O(live) + the compaction threshold,
+        # not by the number of cancels (390 here)
+        assert len(sim) == 10
+        assert len(sim._queue) < Simulator.COMPACT_MIN_QUEUE
+
+    def test_firing_order_identical_with_compaction(self):
+        sim, events, fired = self.make_churny_sim()
+        for i, ev in enumerate(events):
+            if i % 4 != 3:  # cancel three of every four events
+                ev.cancel()
+        assert sim.compactions >= 1
+        sim.run()
+        assert fired == [i for i in range(len(events)) if i % 4 == 3]
+
+    def test_small_queues_never_compact(self):
+        sim = Simulator()
+        events = [sim.schedule(1.0 + i, lambda: None) for i in range(32)]
+        for ev in events:
+            ev.cancel()
+        assert sim.compactions == 0
+
+    def test_dead_head_pops_do_not_double_count(self):
+        sim = Simulator()
+        fired = []
+        first = sim.schedule(1.0, lambda: fired.append("dead"))
+        sim.schedule(2.0, lambda: fired.append("live"))
+        first.cancel()
+        sim.run()
+        assert fired == ["live"]
+        assert sim.compactions == 0
+
+    def test_cancel_is_idempotent_for_tombstone_count(self):
+        sim, events, _ = self.make_churny_sim(100)
+        for _ in range(3):  # repeated cancels must count once
+            events[0].cancel()
+        assert sim._tombstones == 1
