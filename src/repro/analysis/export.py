@@ -19,12 +19,14 @@ from repro.experiments.fig1 import Fig1Result
 from repro.experiments.fig2 import Fig2Result
 from repro.experiments.fig3 import Fig3Result
 from repro.experiments.fig4 import Fig4Result
+from repro.experiments.faults import FaultsResult
 
 __all__ = [
     "export_fig1",
     "export_fig2",
     "export_fig3",
     "export_fig4",
+    "export_faults",
     "write_series",
 ]
 
@@ -93,6 +95,37 @@ def export_fig4(result: Fig4Result) -> Dict[str, dict]:
             ["reputation", "cdf"],
             [result.reputation_values, result.reputation_cdf],
         ),
+    }
+
+
+def export_faults(result: FaultsResult) -> Dict[str, dict]:
+    """Series for the fault sweep (one row per fault level)."""
+    pts = result.points
+    return {
+        "faults_sweep": _table(
+            [
+                "loss", "churn_per_day", "duplicate", "delay_max_s",
+                "coverage", "false_ban_rate", "rank_inversion_rate",
+                "delivered", "dropped", "duplicated", "delayed",
+                "crashes", "wipes", "audit_violations",
+            ],
+            [
+                np.array([p.loss for p in pts], dtype=float),
+                np.array([p.churn for p in pts], dtype=float),
+                np.array([p.duplicate for p in pts], dtype=float),
+                np.array([p.delay_max for p in pts], dtype=float),
+                np.array([p.coverage for p in pts], dtype=float),
+                np.array([p.false_ban_rate for p in pts], dtype=float),
+                np.array([p.rank_inversion_rate for p in pts], dtype=float),
+                np.array([p.messages_delivered for p in pts], dtype=float),
+                np.array([p.messages_dropped for p in pts], dtype=float),
+                np.array([p.messages_duplicated for p in pts], dtype=float),
+                np.array([p.messages_delayed for p in pts], dtype=float),
+                np.array([p.crashes for p in pts], dtype=float),
+                np.array([p.wipes for p in pts], dtype=float),
+                np.array([p.audit_violations for p in pts], dtype=float),
+            ],
+        )
     }
 
 

@@ -104,6 +104,7 @@ def select_unchokes(
         round_idx - uploader.optimistic_chosen_round >= config.optimistic_every_rounds
     )
     current = uploader.optimistic_peer
+    promoted = current is not None and current in allowed and current in regular
     current_valid = (
         current is not None
         and current in allowed
@@ -113,7 +114,14 @@ def select_unchokes(
         remaining = [c for c in allowed if c not in regular]
         ordered = policy.order_optimistic(node, remaining, rng)
         uploader.optimistic_peer = ordered[0] if ordered else None
-        uploader.optimistic_chosen_round = round_idx
+        if rotation_due or not promoted:
+            # A genuine rotation (or a vanished/banned target) restarts
+            # the 30 s clock.  A re-pick forced only because the current
+            # optimistic peer got promoted into a regular slot does NOT:
+            # resetting there silently moved every future rotation
+            # whenever tit-for-tat adopted the optimistic choice, so the
+            # cadence drifted off the configured period.
+            uploader.optimistic_chosen_round = round_idx
     if uploader.optimistic_peer is not None:
         regular.add(uploader.optimistic_peer)
     return regular

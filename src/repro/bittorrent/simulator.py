@@ -43,6 +43,7 @@ from repro.bittorrent.stats import StatsCollector
 from repro.bittorrent.swarm import SwarmState
 from repro.core.node import BarterCastConfig, BarterCastNode
 from repro.core.policies import NoPolicy, ReputationPolicy
+from repro.faults import ChannelModel, ChurnInjector, FaultConfig
 from repro.graph import kernel_invocations_delta, snapshot_kernel_invocations
 from repro.obs import NULL_OBS, Observability
 from repro.pss.buddycast import BuddyCastPSS, OraclePSS, PeerSamplingService
@@ -75,6 +76,15 @@ class CommunitySimulator:
     pss:
         ``"buddycast"`` (epidemic partial views, default) or ``"oracle"``
         (ideal global sampler, for ablations).
+    faults:
+        Optional :class:`~repro.faults.FaultConfig`.  A non-null config
+        inserts the unreliable channel between ``create_message`` and
+        ``receive_message`` (loss, duplication, bounded random delay /
+        reordering, connectability) and/or the churn injector (abrupt
+        crash+rejoin with PSS re-registration and optional gossip-state
+        wipes).  ``None`` or a null config changes *nothing*: no extra
+        RNG streams, no extra events — runs are byte-identical to a
+        build without the fault layer.
     obs:
         Observability bundle, threaded through the engine, every node,
         and the choker.  When enabled, rounds/transfers/gossip are
@@ -92,6 +102,7 @@ class CommunitySimulator:
         bc_config: Optional[BarterCastConfig] = None,
         seed: int = 0,
         pss: str = "buddycast",
+        faults: Optional[FaultConfig] = None,
         obs: Optional[Observability] = None,
     ) -> None:
         trace.validate()
@@ -170,6 +181,28 @@ class CommunitySimulator:
         for pid in self.rngs.stream("pss-bootstrap").shuffled(sorted(trace.peers)):
             self.pss.register(pid)
 
+        # Fault layer: constructed only for a non-null config, so a
+        # fault-free simulation allocates no channel/churn RNG streams
+        # and schedules no extra events (byte-identity, DESIGN.md §9).
+        self.faults = faults
+        self.channel: Optional[ChannelModel] = None
+        self.churn: Optional[ChurnInjector] = None
+        if faults is not None and not faults.is_null:
+            faults.validate()
+            if faults.has_channel_faults:
+                self.channel = ChannelModel(
+                    faults, self.rngs.stream("faults.channel"), obs=self.obs
+                )
+            if faults.churn_rate > 0:
+                self.churn = ChurnInjector(
+                    faults,
+                    self.engine,
+                    self.rngs.stream("faults.churn"),
+                    sorted(trace.peers),
+                    horizon=trace.duration,
+                    on_rejoin=self._churn_rejoin,
+                )
+
         self._schedule_trace_events()
         self._round_proc = PeriodicProcess(
             self.engine,
@@ -235,13 +268,29 @@ class CommunitySimulator:
     # Queries used by the choker / PSS
     # ------------------------------------------------------------------
     def is_online(self, peer_id: int) -> bool:
-        """Whether the peer is currently within one of its trace sessions."""
-        return peer_id in self.online
+        """Whether the peer is currently within one of its trace sessions
+        (and not knocked out by a churn outage)."""
+        if peer_id not in self.online:
+            return False
+        return self.churn is None or peer_id not in self.churn.down
 
     def can_connect(self, a: int, b: int) -> bool:
         """Whether peers ``a`` and ``b`` can form a connection (at least one
         must accept incoming connections)."""
         return self.trace.peers[a].connectable or self.trace.peers[b].connectable
+
+    def _churn_rejoin(self, peer: int, now: float, wiped: bool) -> None:
+        """Churn rejoin hook: replay the recovery path of a restarted peer.
+
+        A *hard* restart (``wiped``) lost the in-memory gossip state: the
+        subjective shared history is wiped (``forget_reporter`` per
+        reporter) and the peer re-bootstraps its PSS view at the rejoin
+        time — exercising exactly the churn-sensitive BuddyCast paths.
+        """
+        if wiped:
+            self.nodes[peer].wipe_shared_history()
+            self.pss.forget(peer)
+        self.pss.register(peer, now)
 
     # ------------------------------------------------------------------
     # Observation hooks
@@ -333,7 +382,7 @@ class CommunitySimulator:
             swarm.clear_in_flight()
             for member in swarm.members.values():
                 pid = member.peer_id
-                if pid not in self.online:
+                if not self.is_online(pid):
                     continue
                 is_origin = self.roles.role_of(pid) == Role.ORIGIN
                 unchoked = select_unchokes(
@@ -457,7 +506,7 @@ class CommunitySimulator:
         leeching: Set[int] = set()
         for swarm in self.swarms.values():
             for member in swarm.members.values():
-                if member.is_leecher and member.peer_id in self.online:
+                if member.is_leecher and self.is_online(member.peer_id):
                     leeching.add(member.peer_id)
         for pid in leeching:
             self.stats.record_leech_time(pid, dt, now)
@@ -478,11 +527,11 @@ class CommunitySimulator:
     def _gossip_round(self) -> None:
         now = self.engine.now
         for pid in self._gossip_rng.shuffled(sorted(self.online)):
-            if pid not in self.online:
+            if not self.is_online(pid):
                 continue
             self.pss.tick(pid, now)
             partner = self.pss.sample(pid)
-            if partner is None or partner not in self.online:
+            if partner is None or not self.is_online(partner):
                 continue
             self._exchange_messages(pid, partner, now)
 
@@ -494,13 +543,17 @@ class CommunitySimulator:
         lost = 0
         msg_a = na.create_message(now)
         if msg_a is not None:
-            if loss > 0 and self._gossip_rng.bernoulli(loss):
+            if self.channel is not None:
+                lost += self._send_via_channel(msg_a, b, now)
+            elif loss > 0 and self._gossip_rng.bernoulli(loss):
                 lost += 1
             else:
                 nb.receive_message(msg_a)
         msg_b = nb.create_message(now)
         if msg_b is not None:
-            if loss > 0 and self._gossip_rng.bernoulli(loss):
+            if self.channel is not None:
+                lost += self._send_via_channel(msg_b, a, now)
+            elif loss > 0 and self._gossip_rng.bernoulli(loss):
                 lost += 1
             else:
                 na.receive_message(msg_b)
@@ -512,6 +565,41 @@ class CommunitySimulator:
             self._tr_gossip.emit_sampled(
                 "exchange", sim_time=now, attrs={"a": a, "b": b, "lost": lost}
             )
+
+    def _send_via_channel(self, message, receiver: int, now: float) -> int:
+        """Route one message through the unreliable channel.
+
+        Immediate copies are ingested inline (preserving the reliable
+        path's ordering when delay is off); delayed copies are scheduled
+        as engine events, where they interleave — and reorder — with
+        every later gossip exchange.  Returns 1 if no copy was admitted
+        (the exchange-level "lost" accounting), 0 otherwise.
+        """
+        times = self.channel.plan_delivery(message.sender, receiver, now)
+        if not times:
+            return 1
+        for t in times:
+            if t <= now:
+                self._deliver_message(receiver, message)
+            else:
+                self.engine.schedule_at(
+                    t,
+                    lambda m=message, r=receiver: self._deliver_message(r, m),
+                    label="net-deliver",
+                )
+        return 0
+
+    def _deliver_message(self, receiver: int, message) -> None:
+        """Terminal delivery seam: a copy of ``message`` arrives now.
+
+        A delayed copy can surface while the receiver is offline (trace
+        session ended, or a churn outage) — then it is dropped, exactly
+        like a datagram hitting a dead host.
+        """
+        if not self.is_online(receiver):
+            self.channel.note_undeliverable(message.sender, receiver, self.engine.now)
+            return
+        self.nodes[receiver].receive_message(message)
 
     # ------------------------------------------------------------------
     def run(self, until: Optional[float] = None) -> StatsCollector:

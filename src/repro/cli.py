@@ -8,10 +8,22 @@ Usage::
     python -m repro.cli fig4 [--peers N] [--seed N]
     python -m repro.cli whitewash [--seed N]
     python -m repro.cli scalability [--peers N]
+    python -m repro.cli faults [--losses 0,0.1,0.25,0.5] [--churn R]
     python -m repro.cli all  [--profile ...] [--fig4-peers N]
 
 Each subcommand regenerates one figure of the paper and prints the series
 as tables/ASCII charts (see :mod:`repro.experiments.report`).
+
+Fault-injection flags (on every scenario-driven figure command):
+
+``--loss P`` / ``--dup P`` / ``--delay S`` / ``--churn R``
+    Run the figure over an unreliable gossip plane: per-message drop
+    probability, per-copy duplication probability, maximum random
+    delivery delay (seconds), and abrupt-restart rate (events per peer
+    per day).  All default to 0; with every knob at 0 the fault layer is
+    never constructed and the run is bit-identical to one without these
+    flags.  The ``faults`` subcommand sweeps a loss ladder and reports
+    reputation coverage, false-ban rate and rank-inversion rate.
 
 Observability flags (available on every subcommand):
 
@@ -94,6 +106,38 @@ def _build_parser() -> argparse.ArgumentParser:
             "(1 = serial; results are bit-identical at any level)",
         )
 
+    def add_faults(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--loss",
+            type=float,
+            default=0.0,
+            metavar="P",
+            help="per-message gossip drop probability (0 = reliable channel)",
+        )
+        p.add_argument(
+            "--dup",
+            type=float,
+            default=0.0,
+            metavar="P",
+            help="per-copy gossip duplication probability (0 = exactly-once)",
+        )
+        p.add_argument(
+            "--delay",
+            type=float,
+            default=0.0,
+            metavar="SECONDS",
+            help="maximum random gossip delivery delay (0 = instant; "
+            "independent delays reorder messages)",
+        )
+        p.add_argument(
+            "--churn",
+            type=float,
+            default=0.0,
+            metavar="RATE",
+            help="abrupt peer restarts per peer per simulated day "
+            "(0 = no churn)",
+        )
+
     def add_common(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--profile",
@@ -108,6 +152,7 @@ def _build_parser() -> argparse.ArgumentParser:
             default=None,
             help="also write the figure series as TSV files into DIR",
         )
+        add_faults(p)
         add_obs(p)
 
     add_common(sub.add_parser("fig1", help="contribution vs reputation"))
@@ -137,6 +182,56 @@ def _build_parser() -> argparse.ArgumentParser:
     ps.add_argument("--peers", type=int, default=100_000, help="largest view size")
     ps.add_argument("--seed", type=int, default=42, help="root random seed")
     add_obs(ps)
+    pf = sub.add_parser(
+        "faults", help="reputation quality vs gossip-plane fault level"
+    )
+    pf.add_argument(
+        "--profile",
+        choices=("tiny", "fast", "paper"),
+        default="fast",
+        help="scenario scale: 'fast' (seconds) or 'paper' (full scale, minutes)",
+    )
+    pf.add_argument("--seed", type=int, default=42, help="root random seed")
+    pf.add_argument(
+        "--export",
+        metavar="DIR",
+        default=None,
+        help="also write the sweep series as TSV files into DIR",
+    )
+    pf.add_argument(
+        "--losses",
+        default="0,0.1,0.25,0.5",
+        metavar="L1,L2,...",
+        help="comma-separated message-loss ladder to sweep",
+    )
+    pf.add_argument(
+        "--churn",
+        type=float,
+        default=0.0,
+        metavar="RATE",
+        help="abrupt peer restarts per peer per day, applied at every sweep point",
+    )
+    pf.add_argument(
+        "--dup",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help="per-copy duplication probability, applied at every sweep point",
+    )
+    pf.add_argument(
+        "--delay",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="maximum random delivery delay, applied at every sweep point",
+    )
+    pf.add_argument(
+        "--delta",
+        type=float,
+        default=-0.5,
+        help="ban threshold used for the false-ban measure",
+    )
+    add_obs(pf)
     pall = sub.add_parser("all", help="regenerate every figure")
     add_common(pall)
     pall.add_argument(
@@ -235,6 +330,52 @@ def _fig4(
 
     with manifest.phase("export"):
         _maybe_export(export_fig4(result), export_dir)
+
+
+def _faults(
+    scenario: ScenarioConfig,
+    args: argparse.Namespace,
+    export_dir=None,
+    obs: Optional[Observability] = None,
+    manifest: Optional[ManifestBuilder] = None,
+    runner=None,
+) -> None:
+    from repro.analysis.export import export_faults
+    from repro.experiments.faults import run_faults
+
+    losses = tuple(float(x) for x in args.losses.split(",") if x.strip())
+    with manifest.phase("faults"):
+        result = run_faults(
+            scenario,
+            losses=losses,
+            churn=args.churn,
+            dup=args.dup,
+            delay=args.delay,
+            delta=args.delta,
+            obs=obs,
+            runner=runner,
+        )
+    print(report.report_faults(result))
+    with manifest.phase("export"):
+        _maybe_export(export_faults(result), export_dir)
+
+
+def _fault_config_from_args(args: argparse.Namespace):
+    """The figure commands' ``--loss/--dup/--delay/--churn`` flags as a
+    :class:`~repro.faults.FaultConfig`; ``None`` when all are off (so the
+    scenario stays byte-identical to a flagless invocation)."""
+    from repro.faults import FaultConfig
+
+    cfg = FaultConfig(
+        loss=float(getattr(args, "loss", 0.0) or 0.0),
+        duplicate=float(getattr(args, "dup", 0.0) or 0.0),
+        delay_max=float(getattr(args, "delay", 0.0) or 0.0),
+        churn_rate=float(getattr(args, "churn", 0.0) or 0.0),
+    )
+    if cfg.is_null:
+        return None
+    cfg.validate()
+    return cfg
 
 
 def _whitewash(seed: int, manifest: ManifestBuilder, runner=None) -> None:
@@ -391,7 +532,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         else:
             scenario = ScenarioConfig.named(args.profile, seed=args.seed)
             manifest.config = None if scenario is None else _describe_scenario(scenario)
-            if args.command == "fig1":
+            if args.command != "faults":
+                # The faults sweep builds its own per-point FaultConfig;
+                # figure commands take theirs from the shared flags.
+                fault_cfg = _fault_config_from_args(args)
+                if fault_cfg is not None:
+                    scenario = scenario.with_faults(fault_cfg)
+            if args.command == "faults":
+                _faults(scenario, args, export_dir, obs, manifest, runner)
+            elif args.command == "fig1":
                 _fig1(scenario, export_dir, obs, manifest, runner)
             elif args.command == "fig2":
                 _fig2(scenario, export_dir, obs, manifest, runner)

@@ -213,6 +213,20 @@ class BarterCastNode:
             )
         return applied
 
+    def wipe_shared_history(self) -> int:
+        """Drop every gossip-learned claim (hard-restart churn path).
+
+        Models a peer whose process died without persisting its gossip
+        state: the private history (on-disk in Tribler) survives, the
+        subjective shared history does not.  Returns the number of edges
+        whose materialized value changed.  Reporters are forgotten in a
+        deterministic order so fault schedules replay identically.
+        """
+        changed = 0
+        for reporter in sorted(self.shared.reporters(), key=repr):
+            changed += self.shared.forget_reporter(reporter)
+        return changed
+
     # ------------------------------------------------------------------
     # Cache maintenance
     # ------------------------------------------------------------------

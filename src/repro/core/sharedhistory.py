@@ -27,13 +27,16 @@ Two hard rules protect the owner:
 Supersede semantics: a reporter's newer message replaces its older claims
 about the same counterparty (records carry totals, not deltas).  Stale
 messages — older than the newest already seen from that reporter about that
-counterparty — are dropped.
+counterparty — are dropped.  Equal-timestamp ties deterministically keep
+the **maximum** value, so duplicated or reordered deliveries of the same
+message can never make the view depend on arrival order (the unreliable
+channel of :mod:`repro.faults` relies on this).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterator, Optional, Tuple
+from typing import Dict, Hashable, Iterator, Optional, Set, Tuple
 
 from repro.core.messages import BarterCastMessage, HistoryRecord
 from repro.graph.transfer_graph import TransferGraph
@@ -179,11 +182,17 @@ class SubjectiveSharedHistory:
     ) -> bool:
         claims = self._claims.setdefault(edge, {})
         existing = claims.get(reporter)
-        if existing is not None and existing.reported_at > reported_at:
-            return False  # stale
-        if existing is not None and existing.value == value:
-            existing.reported_at = reported_at
-            return False  # no change
+        if existing is not None:
+            if existing.reported_at > reported_at:
+                return False  # stale
+            if existing.reported_at == reported_at and value <= existing.value:
+                # Redelivered or reordered copy of an equal-timestamp
+                # message: the tie rule keeps the max value, so the view
+                # is independent of arrival order (delivery idempotency).
+                return False
+            if existing.value == value:
+                existing.reported_at = reported_at
+                return False  # no change
         claims[reporter] = _Claim(value=float(value), reported_at=float(reported_at))
         self._materialize(edge)
         return True
@@ -218,6 +227,13 @@ class SubjectiveSharedHistory:
     def known_edges(self) -> Iterator[Tuple[PeerId, PeerId]]:
         """Directed pairs for which at least one claim is stored."""
         return iter(self._claims)
+
+    def reporters(self) -> Set[PeerId]:
+        """Every peer with at least one live claim in this view."""
+        seen: Set[PeerId] = set()
+        for claims in self._claims.values():
+            seen.update(claims)
+        return seen
 
     def forget_reporter(self, reporter: PeerId) -> int:
         """Drop all claims made by ``reporter``; returns how many edges changed.

@@ -193,13 +193,27 @@ class DeploymentNetwork:
             vol = download[pid] * (1.0 - p.external_fraction)
             if vol <= 0:
                 continue
+            # A peer never downloads from itself: exclude it from the
+            # candidate pool (renormalizing the weights) rather than
+            # discarding its Dirichlet share afterwards, which silently
+            # deflated realized internal volume below the sampled
+            # ground truth.
+            if propensity[pid] > 0:
+                mask = uploader_pool != pid
+                pool = uploader_pool[mask]
+                pool_weights = weights[mask]
+                total = pool_weights.sum()
+                if pool.size == 0 or total <= 0:
+                    continue
+                pool_weights = pool_weights / total
+            else:
+                pool = uploader_pool
+                pool_weights = weights
             k = max(1, int(gen.poisson(p.partners_mean)))
-            partners = gen.choice(uploader_pool, size=min(k, uploader_pool.size), p=weights)
+            partners = gen.choice(pool, size=min(k, pool.size), p=pool_weights)
             shares = gen.dirichlet(np.ones(len(partners)))
             for partner, share in zip(partners, shares):
                 partner = int(partner)
-                if partner == pid:
-                    continue
                 nbytes = float(vol * share)
                 if nbytes <= 0:
                     continue

@@ -29,6 +29,14 @@ from repro.experiments.fig3 import (
     run_fig3_point,
 )
 from repro.experiments.fig4 import Fig4Result, run_fig4
+from repro.experiments.faults import (
+    FaultPoint,
+    FaultsResult,
+    assemble_faults,
+    fault_tasks,
+    run_fault_point,
+    run_faults,
+)
 from repro.experiments.whitewash import (
     WhitewashParams,
     WhitewashResult,
@@ -58,6 +66,12 @@ __all__ = [
     "assemble_fig3",
     "Fig4Result",
     "run_fig4",
+    "FaultPoint",
+    "FaultsResult",
+    "run_fault_point",
+    "run_faults",
+    "fault_tasks",
+    "assemble_faults",
     "WhitewashParams",
     "WhitewashResult",
     "run_whitewash",

@@ -1,0 +1,275 @@
+"""Fault sweep: reputation quality vs. gossip-plane fault level.
+
+The paper's BarterCast ran over a network that lost, duplicated, and
+reordered messages, with a minority of connectable peers and heavy
+churn — none of which the reliable simulator exercises.  This experiment
+turns the :mod:`repro.faults` layer into measurements: for a ladder of
+loss levels (optionally with churn, duplication and delay layered on
+top) it runs the community simulation and reports
+
+* **reputation coverage** — the mean fraction of ground-truth transfer
+  edges (between third parties) present in a peer's subjective graph;
+  the gossip plane's effectiveness measure.  Falls monotonically with
+  loss: with a shared channel RNG the delivered-message sets are nested
+  across loss levels.
+* **false-ban rate** — the fraction of (evaluator, sharer) pairs whose
+  subjective reputation falls below the ban threshold δ; honest sharers
+  a ban policy would starve because gossip could not carry their
+  contribution evidence.
+* **rank-inversion rate** — the fraction of (sharer, freerider) pairs
+  with higher ground-truth contribution that an evaluator nevertheless
+  ranks *below* the freerider.
+
+Runs use :class:`~repro.core.policies.NoPolicy` so the byte flow is
+identical across fault levels (reputations are measured, never acted
+on) — differences in the three measures isolate the gossip plane.
+Every run is audited against the ground-truth envelope
+(:func:`~repro.faults.audit.audit_simulation`); violations are carried
+in the result and asserted empty by the tests.
+
+All points are independent simulations, so the sweep parallelizes under
+``--jobs`` through the standard task machinery (:func:`fault_tasks` /
+:func:`assemble_faults`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.experiments.scenario import ScenarioConfig, build_simulation
+from repro.faults import FaultConfig, audit_simulation
+from repro.obs import Observability
+
+__all__ = [
+    "FaultPoint",
+    "FaultsResult",
+    "run_fault_point",
+    "fault_tasks",
+    "assemble_faults",
+    "run_faults",
+    "DEFAULT_LOSSES",
+]
+
+#: Default loss ladder of the sweep (0 first: the fault-free baseline).
+DEFAULT_LOSSES: Tuple[float, ...] = (0.0, 0.1, 0.25, 0.5)
+
+#: Default ban threshold used for the false-ban measure (the paper's
+#: middle δ of Figure 2(c)).
+DEFAULT_DELTA = -0.5
+
+
+@dataclass
+class FaultPoint:
+    """Measurements of one fault level (picklable sweep payload)."""
+
+    loss: float
+    churn: float
+    duplicate: float
+    delay_max: float
+    coverage: float
+    false_ban_rate: float
+    rank_inversion_rate: float
+    messages_delivered: int
+    messages_dropped: int
+    messages_duplicated: int
+    messages_delayed: int
+    crashes: int
+    wipes: int
+    audit_violations: int
+
+
+@dataclass
+class FaultsResult:
+    """The assembled sweep: one :class:`FaultPoint` per fault level."""
+
+    points: List[FaultPoint]
+    delta: float
+    profile: str
+
+    def coverage_curve(self) -> List[float]:
+        """Reputation coverage per sweep point (degrades with loss)."""
+        return [p.coverage for p in self.points]
+
+    @property
+    def total_violations(self) -> int:
+        """Audit violations across the whole sweep (must be 0)."""
+        return sum(p.audit_violations for p in self.points)
+
+
+# ----------------------------------------------------------------------
+# Measures
+# ----------------------------------------------------------------------
+def _ground_truth(sim) -> Tuple[Set[Tuple[int, int]], Dict[int, float]]:
+    """Realized transfer edges and per-peer net contribution.
+
+    Transfer accounting writes both private histories, so the union of
+    the nodes' own upload records *is* the realized ground truth — no
+    separate bookkeeping needed, and it stays valid under churn (history
+    survives a restart; only gossip state is wiped).
+    """
+    edges: Set[Tuple[int, int]] = set()
+    contribution: Dict[int, float] = {}
+    for pid, node in sim.nodes.items():
+        up_total = 0.0
+        down_total = 0.0
+        for peer, totals in node.history.items():
+            if totals.uploaded > 0:
+                edges.add((pid, peer))
+            up_total += totals.uploaded
+            down_total += totals.downloaded
+        contribution[pid] = up_total - down_total
+    return edges, contribution
+
+
+def _coverage(sim, gt_edges: Set[Tuple[int, int]]) -> float:
+    """Mean fraction of third-party ground-truth edges a peer knows."""
+    fractions: List[float] = []
+    for pid in sorted(sim.nodes):
+        node = sim.nodes[pid]
+        relevant = [e for e in gt_edges if pid not in e]
+        if not relevant:
+            continue
+        known = sum(1 for src, dst in relevant if node.graph.capacity(src, dst) > 0)
+        fractions.append(known / len(relevant))
+    return sum(fractions) / len(fractions) if fractions else 0.0
+
+
+def _reputation_measures(
+    sim, contribution: Dict[int, float], delta: float
+) -> Tuple[float, float]:
+    """(false-ban rate, rank-inversion rate) over the subject population."""
+    sharers = list(sim.roles.sharers)
+    freeriders = list(sim.roles.freeriders)
+    subjects = sorted(set(sharers) | set(freeriders))
+    ban_pairs = 0
+    ban_hits = 0
+    inv_pairs = 0
+    inv_hits = 0
+    for evaluator in subjects:
+        node = sim.nodes[evaluator]
+        reps = node.reputations_of(p for p in subjects if p != evaluator)
+        for s in sharers:
+            if s == evaluator:
+                continue
+            ban_pairs += 1
+            if reps[s] < delta:
+                ban_hits += 1
+        for s in sharers:
+            if s == evaluator:
+                continue
+            for f in freeriders:
+                if f == evaluator or contribution[s] <= contribution[f]:
+                    continue
+                inv_pairs += 1
+                if reps[s] < reps[f]:
+                    inv_hits += 1
+    false_ban = ban_hits / ban_pairs if ban_pairs else 0.0
+    inversion = inv_hits / inv_pairs if inv_pairs else 0.0
+    return false_ban, inversion
+
+
+# ----------------------------------------------------------------------
+# One sweep point
+# ----------------------------------------------------------------------
+def run_fault_point(
+    scenario: ScenarioConfig,
+    faults: FaultConfig,
+    delta: float = DEFAULT_DELTA,
+    obs: Optional[Observability] = None,
+) -> FaultPoint:
+    """Run one fault level end to end and compute its measures."""
+    sim = build_simulation(scenario.with_faults(faults), obs=obs)
+    sim.run()
+    gt_edges, contribution = _ground_truth(sim)
+    coverage = _coverage(sim, gt_edges)
+    false_ban, inversion = _reputation_measures(sim, contribution, delta)
+    violations = audit_simulation(sim, max_rep_targets=5)
+    channel = sim.channel
+    churn = sim.churn
+    return FaultPoint(
+        loss=faults.loss,
+        churn=faults.churn_rate,
+        duplicate=faults.duplicate,
+        delay_max=faults.delay_max,
+        coverage=coverage,
+        false_ban_rate=false_ban,
+        rank_inversion_rate=inversion,
+        messages_delivered=0 if channel is None else channel.delivered,
+        messages_dropped=0 if channel is None else channel.dropped,
+        messages_duplicated=0 if channel is None else channel.duplicated,
+        messages_delayed=0 if channel is None else channel.delayed,
+        crashes=0 if churn is None else churn.crashes,
+        wipes=0 if churn is None else churn.wipes,
+        audit_violations=len(violations),
+    )
+
+
+# ----------------------------------------------------------------------
+# Sweep plumbing (serial and --jobs N, bit-identical)
+# ----------------------------------------------------------------------
+def _sweep_configs(
+    losses: Sequence[float], churn: float, dup: float, delay: float
+) -> List[FaultConfig]:
+    return [
+        FaultConfig(
+            loss=float(loss), duplicate=float(dup),
+            delay_max=float(delay), churn_rate=float(churn),
+        )
+        for loss in losses
+    ]
+
+
+def fault_tasks(
+    scenario: ScenarioConfig,
+    losses: Sequence[float] = DEFAULT_LOSSES,
+    churn: float = 0.0,
+    dup: float = 0.0,
+    delay: float = 0.0,
+    delta: float = DEFAULT_DELTA,
+) -> List[Any]:
+    """The independent sweep tasks, one per fault level, in ladder order."""
+    from repro.parallel import SweepTask
+
+    return [
+        SweepTask(
+            task_id=f"faults/loss{cfg.loss:g}_churn{cfg.churn_rate:g}",
+            experiment="fault_point",
+            params={"scenario": scenario, "faults": cfg, "delta": delta},
+            seed=scenario.seed,
+            profile=scenario.name,
+        )
+        for cfg in _sweep_configs(losses, churn, dup, delay)
+    ]
+
+
+def assemble_faults(
+    payloads: Sequence[FaultPoint],
+    delta: float = DEFAULT_DELTA,
+    profile: str = "",
+) -> FaultsResult:
+    """Merge per-task payloads (in :func:`fault_tasks` order)."""
+    return FaultsResult(points=list(payloads), delta=delta, profile=profile)
+
+
+def run_faults(
+    scenario: Optional[ScenarioConfig] = None,
+    losses: Sequence[float] = DEFAULT_LOSSES,
+    churn: float = 0.0,
+    dup: float = 0.0,
+    delay: float = 0.0,
+    delta: float = DEFAULT_DELTA,
+    obs: Optional[Observability] = None,
+    runner=None,
+) -> FaultsResult:
+    """Run the fault sweep (serially, or fanned out via ``runner``)."""
+    if scenario is None:
+        scenario = ScenarioConfig.fast()
+    from repro.parallel import run_sweep
+
+    payloads = run_sweep(
+        fault_tasks(scenario, losses, churn, dup, delay, delta),
+        runner=runner,
+        obs=obs,
+    )
+    return assemble_faults(payloads, delta=delta, profile=scenario.name)

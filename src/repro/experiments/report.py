@@ -11,8 +11,9 @@ from repro.experiments.fig1 import Fig1Result
 from repro.experiments.fig2 import Fig2Result
 from repro.experiments.fig3 import Fig3Result
 from repro.experiments.fig4 import Fig4Result
+from repro.experiments.faults import FaultsResult
 
-__all__ = ["report_fig1", "report_fig2", "report_fig3", "report_fig4"]
+__all__ = ["report_fig1", "report_fig2", "report_fig3", "report_fig4", "report_faults"]
 
 GB = 1024.0**3
 
@@ -145,5 +146,58 @@ def report_fig4(result: Fig4Result) -> str:
     lines.append(
         f"fractions: negative={f['negative']:.2f} zero={f['zero']:.2f} "
         f"positive={f['positive']:.2f}  (paper: ~0.40 / ~0.50 / ~0.10)"
+    )
+    return "\n".join(lines)
+
+
+def report_faults(result: FaultsResult) -> str:
+    """Fault sweep: reputation quality vs. gossip-plane fault level."""
+    lines: List[str] = []
+    lines.append(
+        "== Fault sweep: reputation quality vs message loss"
+        f" (profile={result.profile}, ban delta={result.delta}) =="
+    )
+    rows = [
+        (
+            float(p.loss),
+            float(p.churn),
+            float(p.coverage),
+            float(p.false_ban_rate),
+            float(p.rank_inversion_rate),
+        )
+        for p in result.points
+    ]
+    lines.append(
+        render_table(
+            ["loss", "churn/day", "coverage", "false-ban", "rank-inversion"],
+            rows,
+            "{:.3f}",
+        )
+    )
+    lines.append("")
+    lines.append("== Channel / churn telemetry ==")
+    rows = [
+        (
+            float(p.loss),
+            p.messages_delivered,
+            p.messages_dropped,
+            p.messages_duplicated,
+            p.messages_delayed,
+            p.crashes,
+            p.wipes,
+        )
+        for p in result.points
+    ]
+    lines.append(
+        render_table(
+            ["loss", "delivered", "dropped", "duplicated", "delayed", "crashes", "wipes"],
+            rows,
+        )
+    )
+    violations = result.total_violations
+    lines.append(
+        f"invariant audit: {violations} violation(s) across "
+        f"{len(result.points)} fault level(s)"
+        + ("" if violations == 0 else "  ** INVARIANT BREACH **")
     )
     return "\n".join(lines)

@@ -29,6 +29,7 @@ from repro.bittorrent.simulator import CommunitySimulator
 from repro.core.node import BarterCastConfig
 from repro.core.policies import ReputationPolicy
 from repro.core.reputation import ReputationMetric
+from repro.faults import FaultConfig
 from repro.obs import Observability
 from repro.traces.models import CommunityTrace, DAY, HOUR
 from repro.traces.synthetic import SyntheticTraceGenerator, TraceParams
@@ -70,6 +71,11 @@ class ScenarioConfig:
         Population split (paper: 0.5).
     seed:
         Root seed for trace generation, role assignment and simulation.
+    faults:
+        Optional gossip-plane fault injection
+        (:class:`~repro.faults.FaultConfig`); ``None`` (default) and
+        null configs leave the simulation byte-identical to a faultless
+        build.
     """
 
     name: str
@@ -80,6 +86,7 @@ class ScenarioConfig:
     ))
     freerider_fraction: float = 0.5
     seed: int = 42
+    faults: Optional[FaultConfig] = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -205,6 +212,10 @@ class ScenarioConfig:
         """A copy of this scenario with a different seed."""
         return replace(self, seed=seed)
 
+    def with_faults(self, faults: Optional[FaultConfig]) -> "ScenarioConfig":
+        """A copy of this scenario with a different fault schedule."""
+        return replace(self, faults=faults)
+
 
 def build_simulation(
     scenario: ScenarioConfig,
@@ -230,5 +241,6 @@ def build_simulation(
         config=scenario.bt_config,
         bc_config=scenario.bc_config,
         seed=scenario.seed,
+        faults=scenario.faults,
         obs=obs,
     )

@@ -1,0 +1,34 @@
+"""Fault injection for the gossip plane.
+
+Three cooperating pieces (see DESIGN.md §9 for the full model):
+
+:mod:`repro.faults.channel`
+    :class:`FaultConfig` (the knobs) and :class:`ChannelModel` — seeded
+    per-message loss, duplication, bounded random delay/reordering, and
+    a connectability matrix, with ``net.*`` observability.
+:mod:`repro.faults.churn`
+    :class:`ChurnInjector` — abrupt per-peer crash/rejoin processes that
+    drive the ``forget_reporter`` / PSS re-registration paths.
+:mod:`repro.faults.audit`
+    The invariant auditor: under *any* fault schedule the subjective
+    graph stays within the ground-truth envelope and reputations stay
+    in (−1, 1).
+
+Everything is default-off: a null :class:`FaultConfig` means the layer
+is never constructed, keeping fault-free runs byte-identical to builds
+without it.
+"""
+
+from repro.faults.audit import audit_node, audit_simulation, max_honest_claim
+from repro.faults.channel import MAX_COPIES, ChannelModel, FaultConfig
+from repro.faults.churn import ChurnInjector
+
+__all__ = [
+    "FaultConfig",
+    "ChannelModel",
+    "ChurnInjector",
+    "MAX_COPIES",
+    "audit_node",
+    "audit_simulation",
+    "max_honest_claim",
+]

@@ -156,6 +156,14 @@ def _exec_fig4(task: SweepTask, obs: Observability) -> Any:
     )
 
 
+@register_executor("fault_point")
+def _exec_fault_point(task: SweepTask, obs: Observability) -> Any:
+    from repro.experiments.faults import run_fault_point
+
+    p = task.params
+    return run_fault_point(p["scenario"], p["faults"], delta=p["delta"], obs=obs)
+
+
 @register_executor("whitewash")
 def _exec_whitewash(task: SweepTask, obs: Observability) -> Any:
     from repro.experiments.whitewash import run_whitewash

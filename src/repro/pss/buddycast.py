@@ -32,9 +32,23 @@ PeerId = Hashable
 class PeerSamplingService:
     """Interface: supply gossip partners to BarterCast."""
 
-    def register(self, peer: PeerId) -> None:
-        """Introduce ``peer`` to the service (bootstrap its view)."""
+    def register(self, peer: PeerId, now: float = 0.0) -> None:
+        """Introduce ``peer`` to the service (bootstrap its view).
+
+        ``now`` is the join time: bootstrap contacts must be inserted at
+        the *current* freshness, or a peer that (re)joins late starts as
+        the stalest entry in every view and is evicted first — exactly
+        backwards for churn recovery.
+        """
         raise NotImplementedError
+
+    def forget(self, peer: PeerId) -> None:
+        """Drop ``peer``'s own view (crash losing PSS state).
+
+        The peer stays known to the network; a subsequent
+        :meth:`register` re-bootstraps it.  Default: nothing to drop.
+        """
+        return None
 
     def tick(self, peer: PeerId, now: float) -> None:
         """Run one PSS round for ``peer`` at time ``now`` (view exchange)."""
@@ -90,17 +104,26 @@ class BuddyCastPSS(PeerSamplingService):
         """Total number of completed view exchanges."""
         return self._exchanges
 
-    def register(self, peer: PeerId) -> None:
+    def register(self, peer: PeerId, now: float = 0.0) -> None:
         if peer in self._views:
             return
         self._views[peer] = {}
         # Bootstrap: a few random already-known peers learn about the
         # newcomer and vice versa (stand-in for superpeer introduction).
+        # Contacts are seeded at the join time ``now`` — not 0.0 — so a
+        # late (re)joiner is the freshest entry, not everyone's first
+        # eviction candidate.
         if self._all_peers:
             for contact in self._rng.sample(self._all_peers, self.bootstrap_size):
-                self._views[peer][contact] = 0.0
-                self._insert(contact, peer, 0.0)
-        self._all_peers.append(peer)
+                if contact != peer:
+                    self._views[peer][contact] = now
+                    self._insert(contact, peer, now)
+        if peer not in self._all_peers:
+            self._all_peers.append(peer)
+
+    def forget(self, peer: PeerId) -> None:
+        """Drop the peer's own partial view (it remains in others')."""
+        self._views.pop(peer, None)
 
     def tick(self, peer: PeerId, now: float) -> None:
         """One BuddyCast round: exchange views with a random live contact."""
@@ -146,7 +169,13 @@ class BuddyCastPSS(PeerSamplingService):
         else:
             view[contact] = freshness
             if len(view) > self.view_size:
-                stalest = min(view.items(), key=lambda kv: kv[1])[0]
+                # Evict the stalest entry *other than* the contact being
+                # inserted: evicting the newcomer itself would make the
+                # insert a silent no-op and lock the view's membership.
+                stalest = min(
+                    (kv for kv in view.items() if kv[0] != contact),
+                    key=lambda kv: kv[1],
+                )[0]
                 del view[stalest]
 
 
@@ -163,7 +192,7 @@ class OraclePSS(PeerSamplingService):
         self._peers: List[PeerId] = []
         self._known: Set[PeerId] = set()
 
-    def register(self, peer: PeerId) -> None:
+    def register(self, peer: PeerId, now: float = 0.0) -> None:
         if peer not in self._known:
             self._known.add(peer)
             self._peers.append(peer)

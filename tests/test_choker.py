@@ -139,6 +139,43 @@ class TestSelectUnchokes:
             choices.add(seeder.optimistic_peer)
         assert len(choices) >= 3  # rotates over the population
 
+    def test_promotion_keeps_rotation_cadence(self, rng, config):
+        # When tit-for-tat promotes the current optimistic peer into a
+        # regular slot, the forced re-pick must NOT restart the rotation
+        # clock: only genuine rotations (or a vanished target) do.
+        # Resetting on promotion silently moved every later rotation off
+        # the configured 30 s period.
+        swarm = make_swarm(8)
+        seeder = swarm.members[100]
+        seeder.sent_last_round = {6: 9000.0, 7: 8000.0}
+        select_unchokes(
+            swarm, seeder, policy=NoPolicy(), node=None, rng=rng, round_idx=1,
+            config=config, is_online=ALWAYS_ONLINE, can_connect=ALWAYS_CONNECT,
+        )
+        assert seeder.optimistic_chosen_round == 1
+        promoted = seeder.optimistic_peer
+        # Round 2: the optimistic target now tops the tit-for-tat ranking.
+        seeder.sent_last_round = {promoted: 9000.0, 7: 8000.0}
+        unchoked = select_unchokes(
+            swarm, seeder, policy=NoPolicy(), node=None, rng=rng, round_idx=2,
+            config=config, is_online=ALWAYS_ONLINE, can_connect=ALWAYS_CONNECT,
+        )
+        assert promoted in unchoked  # holds a regular slot now
+        assert seeder.optimistic_peer != promoted  # re-picked
+        assert seeder.optimistic_chosen_round == 1  # clock NOT reset
+        # Round 3: period is 3 rounds, so still no rotation.
+        select_unchokes(
+            swarm, seeder, policy=NoPolicy(), node=None, rng=rng, round_idx=3,
+            config=config, is_online=ALWAYS_ONLINE, can_connect=ALWAYS_CONNECT,
+        )
+        assert seeder.optimistic_chosen_round == 1
+        # Round 4: rotation lands on schedule, 3 rounds after round 1.
+        select_unchokes(
+            swarm, seeder, policy=NoPolicy(), node=None, rng=rng, round_idx=4,
+            config=config, is_online=ALWAYS_ONLINE, can_connect=ALWAYS_CONNECT,
+        )
+        assert seeder.optimistic_chosen_round == 4
+
     def test_ban_policy_excludes_banned(self, rng, config):
         swarm = make_swarm(4)
         seeder = swarm.members[100]

@@ -60,6 +60,36 @@ class TestNetworkGeneration:
         n2 = DeploymentNetwork(DeploymentParams(num_peers=100), seed=4)
         assert n1.edges == n2.edges
 
+    def test_internal_volume_matches_sampled_download(self, network):
+        # Every peer's realized peer-to-peer inflow (edges not from the
+        # measurement peer) must equal download · (1 − external_fraction)
+        # exactly: since downloaded = inflow + download · external_fraction,
+        # the external remainder determines the sampled download and pins
+        # the inflow.  Self-exclusion used to *discard* the excluded
+        # partner's Dirichlet share instead of renormalizing, silently
+        # deflating uploaders' inflow below the ground truth.
+        f = network.params.external_fraction
+        m = network.measurement_id
+        inflow = {pid: 0.0 for pid in network.peer_ids}
+        inflow_not_m = {pid: 0.0 for pid in network.peer_ids}
+        for (src, dst), w in network.edges.items():
+            if dst == m:
+                continue
+            inflow[dst] += w
+            if src != m:
+                inflow_not_m[dst] += w
+        checked = 0
+        for pid in network.peer_ids:
+            external = network.downloaded[pid] - inflow[pid]
+            if external <= 0:
+                continue  # fresh install (no download sampled)
+            sampled_download = external / f
+            assert inflow_not_m[pid] == pytest.approx(
+                sampled_download * (1.0 - f), rel=1e-9
+            )
+            checked += 1
+        assert checked > 100
+
     def test_param_validation(self):
         with pytest.raises(ValueError):
             DeploymentParams(num_peers=5).validate()

@@ -1,0 +1,350 @@
+"""Tests for the fault-injection layer (channel, churn, auditor, sweep).
+
+The three load-bearing guarantees:
+
+* **default-off bit-identity** — with every fault knob at 0 the layer is
+  never constructed, and a run is byte-identical (exports included) to a
+  run without the layer;
+* **the ground-truth envelope** — under arbitrary fault schedules no
+  subjective view ever materializes an edge above the maximum honest
+  claim, and reputations stay inside (−1, 1);
+* **monotone degradation** — reputation coverage is non-increasing in
+  the loss level (the channel draws the same uniforms at every level, so
+  delivered-message sets are nested).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.experiments.faults import run_fault_point, run_faults
+from repro.experiments.scenario import ScenarioConfig, build_simulation
+from repro.faults import (
+    MAX_COPIES,
+    ChannelModel,
+    ChurnInjector,
+    FaultConfig,
+    audit_simulation,
+    max_honest_claim,
+)
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+
+
+def stream(seed=7, name="faults.channel"):
+    return RngRegistry(seed).stream(name)
+
+
+# ---------------------------------------------------------------------------
+# FaultConfig
+# ---------------------------------------------------------------------------
+class TestFaultConfig:
+    def test_default_is_null(self):
+        assert FaultConfig().is_null
+        assert not FaultConfig().has_channel_faults
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"loss": 0.1},
+            {"duplicate": 0.2},
+            {"delay_max": 5.0},
+            {"churn_rate": 1.0},
+            {"connectable_fraction": 0.2},
+        ],
+    )
+    def test_any_knob_breaks_null(self, kwargs):
+        assert not FaultConfig(**kwargs).is_null
+
+    def test_churn_only_has_no_channel_faults(self):
+        cfg = FaultConfig(churn_rate=2.0)
+        assert not cfg.has_channel_faults
+        assert not cfg.is_null
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"loss": 1.0},
+            {"loss": -0.1},
+            {"duplicate": 1.0},
+            {"delay_max": -1.0},
+            {"churn_rate": -0.5},
+            {"churn_downtime": 0.0},
+            {"churn_wipe_prob": 1.5},
+            {"connectable_fraction": 0.0},
+        ],
+    )
+    def test_validate_rejects(self, kwargs):
+        with pytest.raises(ValueError):
+            FaultConfig(**kwargs).validate()
+
+
+# ---------------------------------------------------------------------------
+# ChannelModel
+# ---------------------------------------------------------------------------
+class TestChannelModel:
+    def test_faultless_config_delivers_exactly_once_inline(self):
+        ch = ChannelModel(FaultConfig(), stream())
+        for i in range(50):
+            assert ch.plan_delivery("a", "b", float(i)) == [float(i)]
+        assert ch.delivered == 50
+        assert ch.dropped == ch.duplicated == ch.delayed == 0
+
+    def test_loss_drops_roughly_at_rate(self):
+        ch = ChannelModel(FaultConfig(loss=0.4), stream())
+        n = 2000
+        for i in range(n):
+            ch.plan_delivery("a", "b", float(i))
+        assert 0.3 < ch.dropped / n < 0.5
+        assert ch.delivered + ch.dropped == n
+
+    def test_duplication_bounded_by_cap(self):
+        ch = ChannelModel(FaultConfig(duplicate=0.9), stream())
+        for i in range(500):
+            times = ch.plan_delivery("a", "b", float(i))
+            assert 1 <= len(times) <= MAX_COPIES
+        assert ch.duplicated > 0
+
+    def test_delay_within_bound(self):
+        cfg = FaultConfig(delay_max=30.0)
+        ch = ChannelModel(cfg, stream())
+        for i in range(200):
+            now = float(i)
+            for t in ch.plan_delivery("a", "b", now):
+                assert now <= t <= now + cfg.delay_max
+
+    def test_unconnectable_pair_always_dropped(self):
+        ch = ChannelModel(FaultConfig(connectable_fraction=0.5), stream())
+        # Find two unconnectable peers, then their channel is dead.
+        bad = [p for p in range(40) if not ch.is_connectable(p)]
+        assert len(bad) >= 2
+        assert ch.plan_delivery(bad[0], bad[1], 1.0) == []
+        # One connectable endpoint is enough to carry.
+        good = [p for p in range(40) if ch.is_connectable(p)]
+        assert ch.plan_delivery(good[0], bad[0], 1.0) == [1.0]
+
+    def test_connectability_memoized(self):
+        ch = ChannelModel(FaultConfig(connectable_fraction=0.3), stream())
+        first = [ch.is_connectable(p) for p in range(30)]
+        again = [ch.is_connectable(p) for p in range(30)]
+        assert first == again
+
+    def test_note_undeliverable_counts_drop(self):
+        ch = ChannelModel(FaultConfig(delay_max=10.0), stream())
+        ch.note_undeliverable("a", "b", 5.0)
+        assert ch.dropped == 1
+
+    def test_deterministic_across_instances(self):
+        cfg = FaultConfig(loss=0.3, duplicate=0.2, delay_max=60.0)
+        a = ChannelModel(cfg, stream(seed=11))
+        b = ChannelModel(cfg, stream(seed=11))
+        plans_a = [a.plan_delivery("x", "y", float(i)) for i in range(300)]
+        plans_b = [b.plan_delivery("x", "y", float(i)) for i in range(300)]
+        assert plans_a == plans_b
+
+
+# ---------------------------------------------------------------------------
+# ChurnInjector
+# ---------------------------------------------------------------------------
+class TestChurnInjector:
+    def make(self, seed=5, **kwargs):
+        cfg = FaultConfig(churn_rate=kwargs.pop("churn_rate", 24.0), **kwargs)
+        engine = Simulator()
+        events = []
+        inj = ChurnInjector(
+            cfg,
+            engine,
+            stream(seed=seed, name="faults.churn"),
+            peers=list(range(10)),
+            horizon=86400.0,
+            on_down=lambda p, t: events.append(("down", p, t)),
+            on_rejoin=lambda p, t, wiped: events.append(("up", p, t, wiped)),
+        )
+        engine.run_until(86400.0)
+        return inj, events
+
+    def test_crashes_and_rejoins_fire(self):
+        inj, events = self.make()
+        downs = [e for e in events if e[0] == "down"]
+        ups = [e for e in events if e[0] == "up"]
+        assert inj.crashes == len(downs) > 0
+        assert len(ups) > 0
+        assert 0 <= inj.wipes <= inj.crashes
+
+    def test_rejoin_follows_crash(self):
+        _, events = self.make()
+        down_at = {}
+        for e in events:
+            if e[0] == "down":
+                down_at[e[1]] = e[2]
+            else:
+                assert e[1] in down_at and e[2] >= down_at[e[1]]
+
+    def test_requires_positive_rate(self):
+        with pytest.raises(ValueError):
+            ChurnInjector(
+                FaultConfig(),
+                Simulator(),
+                stream(name="faults.churn"),
+                peers=[0],
+                horizon=10.0,
+            )
+
+    def test_deterministic_schedule(self):
+        _, ev1 = self.make(seed=9)
+        _, ev2 = self.make(seed=9)
+        assert ev1 == ev2
+
+
+# ---------------------------------------------------------------------------
+# Default-off bit-identity
+# ---------------------------------------------------------------------------
+class TestBitIdentity:
+    def test_null_config_runs_byte_identical(self, tmp_path):
+        from repro.analysis.export import export_fig1, write_series
+        from repro.experiments.fig1 import run_fig1
+
+        scenario = ScenarioConfig.tiny()
+        outs = []
+        for tag, faults in (("none", None), ("null", FaultConfig())):
+            result = run_fig1(scenario.with_faults(faults))
+            paths = write_series(export_fig1(result), tmp_path / tag)
+            outs.append({p.name: p.read_bytes() for p in paths})
+        assert outs[0] == outs[1]
+
+    def test_null_config_skips_fault_layer(self):
+        sim = build_simulation(ScenarioConfig.tiny().with_faults(FaultConfig()))
+        assert sim.channel is None
+        assert sim.churn is None
+        # ... and therefore the fault RNG streams are never created, so
+        # every other stream's draw sequence is untouched.
+
+    def test_faulty_config_changes_results(self):
+        base = build_simulation(ScenarioConfig.tiny())
+        base.run()
+        faulty = build_simulation(
+            ScenarioConfig.tiny().with_faults(FaultConfig(loss=0.5))
+        )
+        faulty.run()
+        edges = lambda sim: sum(
+            len(list(n.graph.edges())) for n in sim.nodes.values()
+        )
+        assert edges(faulty) < edges(base)
+
+
+# ---------------------------------------------------------------------------
+# The invariant auditor, under random fault schedules
+# ---------------------------------------------------------------------------
+class TestAuditor:
+    def test_max_honest_claim_reads_both_ledgers(self):
+        from repro.core.history import PrivateHistory
+
+        a, b = PrivateHistory("a"), PrivateHistory("b")
+        a.record_upload("b", 100.0, now=1.0)
+        b.record_download("a", 80.0, now=1.0)  # (partial observation)
+        assert max_honest_claim({"a": a, "b": b}, "a", "b") == 100.0
+        assert max_honest_claim({"a": a, "b": b}, "b", "a") == 0.0
+
+    def test_clean_run_audits_clean(self):
+        sim = build_simulation(ScenarioConfig.tiny())
+        sim.run()
+        assert audit_simulation(sim, max_rep_targets=5) == []
+
+    @settings(max_examples=5, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        loss=st.floats(min_value=0.0, max_value=0.8),
+        duplicate=st.floats(min_value=0.0, max_value=0.5),
+        delay=st.floats(min_value=0.0, max_value=600.0),
+        churn=st.floats(min_value=0.0, max_value=6.0),
+        connectable=st.floats(min_value=0.2, max_value=1.0),
+    )
+    def test_envelope_holds_under_random_fault_schedules(
+        self, seed, loss, duplicate, delay, churn, connectable
+    ):
+        faults = FaultConfig(
+            loss=loss,
+            duplicate=duplicate,
+            delay_max=delay,
+            churn_rate=churn,
+            connectable_fraction=connectable,
+        )
+        scenario = ScenarioConfig.tiny(seed=seed % 97).with_faults(faults)
+        sim = build_simulation(scenario)
+        sim.run()
+        # No fault combination may ever let a subjective view exceed the
+        # honest-claim envelope or push a reputation out of (−1, 1).
+        assert audit_simulation(sim, max_rep_targets=3) == []
+
+
+# ---------------------------------------------------------------------------
+# The sweep experiment
+# ---------------------------------------------------------------------------
+class TestFaultSweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return run_faults(
+            ScenarioConfig.tiny(), losses=(0.0, 0.3, 0.6), churn=0.0
+        )
+
+    def test_coverage_monotone_in_loss(self, sweep):
+        cov = sweep.coverage_curve()
+        assert cov == sorted(cov, reverse=True)
+        assert cov[0] > cov[-1]  # 60% loss visibly degrades coverage
+
+    def test_fault_free_point_has_silent_channel(self, sweep):
+        p0 = sweep.points[0]
+        assert p0.loss == 0.0
+        assert p0.messages_dropped == 0
+        assert p0.messages_delivered == 0  # no channel constructed at all
+
+    def test_telemetry_tracks_loss(self, sweep):
+        p1, p2 = sweep.points[1], sweep.points[2]
+        assert p2.messages_dropped > p1.messages_dropped > 0
+
+    def test_no_audit_violations(self, sweep):
+        assert sweep.total_violations == 0
+
+    def test_rates_are_probabilities(self, sweep):
+        for p in sweep.points:
+            assert 0.0 <= p.coverage <= 1.0
+            assert 0.0 <= p.false_ban_rate <= 1.0
+            assert 0.0 <= p.rank_inversion_rate <= 1.0
+
+    def test_single_point_matches_sweep(self, sweep):
+        point = run_fault_point(ScenarioConfig.tiny(), FaultConfig(loss=0.3))
+        assert point == sweep.points[1]
+
+    def test_export_shape(self, sweep):
+        from repro.analysis.export import export_faults
+
+        tables = export_faults(sweep)
+        table = tables["faults_sweep"]
+        assert len(table["rows"]) == 3
+        assert len(table["header"]) == len(table["rows"][0])
+
+    def test_report_renders(self, sweep):
+        from repro.experiments.report import report_faults
+
+        text = report_faults(sweep)
+        assert "coverage" in text and "0 violation" in text
+
+
+class TestChurnInSimulation:
+    def test_churn_run_stays_within_envelope(self):
+        faults = FaultConfig(churn_rate=4.0, churn_wipe_prob=1.0)
+        sim = build_simulation(ScenarioConfig.tiny().with_faults(faults))
+        sim.run()
+        assert sim.churn is not None
+        assert sim.churn.crashes > 0
+        assert sim.churn.wipes == sim.churn.crashes
+        assert audit_simulation(sim, max_rep_targets=3) == []
+
+    def test_wipe_degrades_coverage(self):
+        clean = run_fault_point(ScenarioConfig.tiny(), FaultConfig())
+        churned = run_fault_point(
+            ScenarioConfig.tiny(),
+            FaultConfig(churn_rate=6.0, churn_wipe_prob=1.0),
+        )
+        assert churned.coverage < clean.coverage
+        assert churned.crashes > 0

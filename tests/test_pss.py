@@ -99,6 +99,68 @@ class TestBuddyCast:
         assert "fresh" in view
         assert "stale" not in view
 
+    def test_eviction_never_discards_the_inserted_contact(self):
+        # A contact staler than every resident entry must still land in
+        # the view (at the expense of the stalest resident) — evicting
+        # the newcomer itself would silently freeze view membership.
+        pss = make_pss(set(range(5)), view_size=2)
+        pss.register(0)
+        pss._insert(0, "a", freshness=100.0)
+        pss._insert(0, "b", freshness=50.0)
+        pss._insert(0, "old-news", freshness=1.0)
+        view = pss.view_of(0)
+        assert "old-news" in view
+        assert "b" not in view
+        assert len(view) == 2
+
+
+class TestChurnRejoin:
+    def test_forget_drops_own_view_only(self):
+        online = set(range(6))
+        pss = make_pss(online)
+        for p in range(6):
+            pss.register(p)
+        known_by_others = any(1 in pss.view_of(p) for p in range(6) if p != 1)
+        pss.forget(1)
+        assert pss.view_of(1) == []
+        # Others still know the crashed peer.
+        assert known_by_others == any(
+            1 in pss.view_of(p) for p in range(6) if p != 1
+        )
+
+    def test_rejoin_bootstraps_at_current_time(self):
+        online = set(range(8))
+        pss = make_pss(online)
+        for p in range(8):
+            pss.register(p)
+        for t in range(5):
+            for p in range(8):
+                pss.tick(p, float(t))
+        pss.forget(3)
+        pss.register(3, now=1000.0)
+        view = pss._views[3]
+        assert len(view) >= 1
+        # Every bootstrap contact carries the rejoin time, so peer 3's
+        # new entries (and 3 in its contacts' views) are the freshest,
+        # not the first eviction candidates.
+        assert all(fresh == 1000.0 for fresh in view.values())
+        assert 3 not in view  # never bootstraps itself
+        for contact in view:
+            assert pss._views[contact][3] == 1000.0
+
+    def test_rejoin_can_gossip_again(self):
+        online = set(range(8))
+        pss = make_pss(online)
+        for p in range(8):
+            pss.register(p)
+        pss.forget(3)
+        assert pss.sample(3) is None
+        pss.register(3, now=50.0)
+        before = pss.exchanges
+        for t in range(5):
+            pss.tick(3, 50.0 + t)
+        assert pss.exchanges > before
+
 
 class TestOracle:
     def test_samples_any_online_peer(self):

@@ -68,6 +68,52 @@ class TestIngestion:
         assert shared.messages_seen == 2
 
 
+class TestDeliveryIdempotency:
+    """An unreliable channel redelivers and reorders messages; the view
+    must be independent of arrival order and copy count."""
+
+    def test_redelivered_message_is_noop(self, store):
+        shared, graph = store
+        m = msg("r", 1.0, HistoryRecord("c", 10.0, 4.0))
+        shared.ingest(m)
+        dropped_before = shared.records_dropped
+        applied = shared.ingest(msg("r", 1.0, HistoryRecord("c", 10.0, 4.0)))
+        assert applied == 0
+        assert shared.records_dropped == dropped_before + 1
+        assert graph.capacity("r", "c") == 10.0
+        assert graph.capacity("c", "r") == 4.0
+
+    def test_equal_timestamp_tie_keeps_max(self, store):
+        shared, graph = store
+        shared.ingest(msg("r", 1.0, HistoryRecord("c", 25.0, 0.0)))
+        # Same reported_at, smaller value (e.g. a stale duplicate that
+        # raced a fresher same-tick claim): must not clobber the max.
+        applied = shared.ingest(msg("r", 1.0, HistoryRecord("c", 10.0, 0.0)))
+        assert applied == 0
+        assert graph.capacity("r", "c") == 25.0
+
+    def test_equal_timestamp_order_independent(self):
+        lo = HistoryRecord("c", 10.0, 0.0)
+        hi = HistoryRecord("c", 25.0, 0.0)
+        views = []
+        for first, second in ((lo, hi), (hi, lo)):
+            graph = TransferGraph()
+            shared = SubjectiveSharedHistory("me", graph)
+            shared.ingest(msg("r", 1.0, first))
+            shared.ingest(msg("r", 1.0, second))
+            views.append(graph.capacity("r", "c"))
+        assert views[0] == views[1] == 25.0
+
+    def test_reporters_lists_live_claimants(self, store):
+        shared, _ = store
+        assert shared.reporters() == set()
+        shared.ingest(msg("a", 1.0, HistoryRecord("b", 10.0, 0.0)))
+        shared.ingest(msg("b", 1.0, HistoryRecord("a", 0.0, 4.0)))
+        assert shared.reporters() == {"a", "b"}
+        shared.forget_reporter("a")
+        assert shared.reporters() == {"b"}
+
+
 class TestClaimArbitration:
     def test_max_over_reporters(self, store):
         shared, graph = store
