@@ -21,11 +21,19 @@ headline number is the wholesale_scalar / dirty_batch wall-time ratio
 (acceptance floor: 3x).  Results land in ``BENCH_reputation.json`` at the
 repository root to start the perf trajectory.
 
-A second section replays the shipped ``dirty_batch`` configuration three
-ways — observability off, metrics on, metrics + sampled tracing — to pin
-the instrumentation overhead: the disabled path must time like the plain
-variant (the cached-``None`` guards cost one attribute check), and the
-reputations must stay bit-identical in all three.
+A second section replays the shipped ``dirty_batch`` configuration four
+ways — observability off, metrics on, metrics + sampled tracing, and
+provenance (claim-lineage) recording — to pin the instrumentation
+overhead: the disabled path must time like the plain variant (the
+cached-``None`` guards cost one attribute check), and the reputations
+must stay bit-identical in all four.
+
+Full-scale runs also embed a ``smoke_reference`` section: the same
+bench at ``--bench-smoke`` scale on the reference machine.  The CI
+regression gate (``benchmarks/check_bench_regression.py``) reruns the
+smoke scale and compares *speedup ratios* against this reference —
+ratios cancel host speed, so the committed full-scale artifact stays
+meaningful across machines.
 
 Run standalone (``python benchmarks/bench_reputation_cache.py [--smoke]``)
 or via pytest (``pytest benchmarks/bench_reputation_cache.py -m bench
@@ -46,7 +54,7 @@ import pytest
 from repro.core.messages import BarterCastMessage, HistoryRecord
 from repro.core.node import BarterCastNode
 from repro.core.reputation import MB
-from repro.obs import MetricsRegistry, Observability, TraceEmitter
+from repro.obs import MetricsRegistry, Observability, ProvenanceRecorder, TraceEmitter
 from repro.sim.rng import RngRegistry
 
 pytestmark = pytest.mark.bench
@@ -122,8 +130,9 @@ def _fresh_node(
     cache_mode: str,
     bootstrap,
     obs: Optional[Observability] = None,
+    provenance: Optional[ProvenanceRecorder] = None,
 ) -> BarterCastNode:
-    node = BarterCastNode(OWNER, cache_mode=cache_mode, obs=obs)
+    node = BarterCastNode(OWNER, cache_mode=cache_mode, obs=obs, provenance=provenance)
     gen = RngRegistry(cfg.seed).stream("bench-own-history").generator
     for pid in range(min(40, cfg.num_peers)):
         node.record_download(pid, float(gen.uniform(10, 1000)) * MB, now=0.0)
@@ -139,11 +148,12 @@ def _run_variant(
     batched: bool,
     workload,
     obs: Optional[Observability] = None,
+    provenance: Optional[ProvenanceRecorder] = None,
 ) -> Tuple[float, List[Tuple[float, ...]], Dict[str, int]]:
     """Replay the workload; returns (seconds, per-round reputation rows,
     telemetry counters)."""
     bootstrap, rounds, candidates = workload
-    node = _fresh_node(cfg, cache_mode, bootstrap, obs=obs)
+    node = _fresh_node(cfg, cache_mode, bootstrap, obs=obs, provenance=provenance)
     rows: List[Tuple[float, ...]] = []
     t0 = time.perf_counter()
     for messages in rounds:
@@ -202,19 +212,20 @@ def run_bench(cfg: WorkloadConfig) -> dict:
 
 
 def run_obs_overhead(cfg: WorkloadConfig, workload=None) -> dict:
-    """Time the shipped dirty_batch configuration under three obs modes.
+    """Time the shipped dirty_batch configuration under four obs modes.
 
     ``obs_off`` is the exact same configuration as the ``dirty_batch``
     variant above, so its timing doubles as the disabled-path overhead
     probe; ``metrics_on`` adds a live registry; ``metrics_trace`` adds a
-    sampled in-memory trace on top.  All three must produce bit-identical
-    reputation rows.
+    sampled in-memory trace on top; ``provenance_on`` records claim
+    lineage (the ``repro explain`` substrate) with no other obs legs.
+    All four must produce bit-identical reputation rows.
     """
     if workload is None:
         workload = _build_workload(cfg)
 
     def make_obs(name: str) -> Optional[Observability]:
-        if name == "obs_off":
+        if name in ("obs_off", "provenance_on"):
             return None
         if name == "metrics_on":
             return Observability(metrics=MetricsRegistry())
@@ -227,11 +238,13 @@ def run_obs_overhead(cfg: WorkloadConfig, workload=None) -> dict:
 
     timings: Dict[str, float] = {}
     reference_rows = None
-    for name in ("obs_off", "metrics_on", "metrics_trace"):
+    for name in ("obs_off", "metrics_on", "metrics_trace", "provenance_on"):
         best = float("inf")
         for _ in range(cfg.repeats):
             elapsed, rows, _ = _run_variant(
-                cfg, "dirty", True, workload, obs=make_obs(name)
+                cfg, "dirty", True, workload,
+                obs=make_obs(name),
+                provenance=ProvenanceRecorder() if name == "provenance_on" else None,
             )
             best = min(best, elapsed)
             if reference_rows is None:
@@ -246,6 +259,7 @@ def run_obs_overhead(cfg: WorkloadConfig, workload=None) -> dict:
         "seconds": timings,
         "overhead_metrics_pct": (timings["metrics_on"] / off - 1.0) * 100.0,
         "overhead_trace_pct": (timings["metrics_trace"] / off - 1.0) * 100.0,
+        "overhead_provenance_pct": (timings["provenance_on"] / off - 1.0) * 100.0,
         "identical_reputations": True,
     }
 
@@ -254,10 +268,33 @@ def write_results(payload: dict, path: Path = RESULT_PATH) -> None:
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
 
+#: Smoke-scale config used for the committed ``smoke_reference`` section
+#: and by the CI regression gate; more repeats than CI smoke so the
+#: committed ratio is stable.
+SMOKE_REFERENCE = WorkloadConfig(
+    num_peers=150, degree=6, rounds=6, gossip_per_round=3, candidates=10, repeats=3
+)
+
+
+def smoke_reference() -> dict:
+    """The smoke-scale ratios embedded in the full artifact (the CI
+    regression gate's same-scale comparison baseline)."""
+    smoke = run_bench(SMOKE_REFERENCE)
+    return {
+        "workload": smoke["workload"],
+        "speedup_dirty_batch": smoke["speedup_dirty_batch"],
+        "seconds": {
+            name: variant["seconds"] for name, variant in smoke["variants"].items()
+        },
+    }
+
+
 def test_bench_reputation_cache(bench_smoke, tmp_path):
     cfg = SMOKE if bench_smoke else FULL
     payload = run_bench(cfg)
     payload["instrumentation"] = run_obs_overhead(cfg)
+    if not bench_smoke:
+        payload["smoke_reference"] = smoke_reference()
     # Smoke numbers are meaningless as a perf record: never let a CI-sized
     # run clobber the committed full-scale artifact.
     write_results(payload, tmp_path / "BENCH_reputation.json" if bench_smoke else RESULT_PATH)
@@ -278,6 +315,9 @@ def test_bench_reputation_cache(bench_smoke, tmp_path):
             / payload["variants"]["dirty_batch"]["seconds"]
         )
         assert 0.75 <= ratio <= 1.25, f"disabled-obs path drifted: ratio={ratio:.3f}"
+        # Lineage recording rides the gossip hot path; it must stay a
+        # small fraction of the dirty+batch round time.
+        assert payload["instrumentation"]["overhead_provenance_pct"] < 15.0
 
 
 if __name__ == "__main__":  # pragma: no cover - manual entry point
@@ -290,5 +330,6 @@ if __name__ == "__main__":  # pragma: no cover - manual entry point
     payload = run_bench(cfg)
     payload["instrumentation"] = run_obs_overhead(cfg)
     if not args.smoke:
+        payload["smoke_reference"] = smoke_reference()
         write_results(payload)
     print(json.dumps(payload, indent=2, sort_keys=True))

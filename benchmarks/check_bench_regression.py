@@ -1,0 +1,145 @@
+"""CI bench regression gate: fresh smoke run vs the committed artifacts.
+
+The committed ``BENCH_reputation.json`` / ``BENCH_parallel.json`` record
+the perf trajectory, but nothing made CI *fail* when a change quietly
+slowed the hot path down.  This script closes that gap:
+
+* **reputation engine** — rerun the cache bench at smoke scale and
+  compare the dirty+batch *speedup ratio* (dirty_batch vs the
+  wholesale_scalar baseline, same host, same scale) against the
+  artifact's ``smoke_reference`` section.  Ratios cancel host speed, so
+  a CI runner can be compared against the reference machine; a fresh
+  ratio more than ``--threshold`` (default 30 %) below the committed one
+  means the incremental dirty+batch path itself regressed, and the
+  script exits non-zero.
+* **parallel sweep** — rerun the sweep pool at smoke scale with
+  ``--jobs 2`` and compare the jobs_2 speedup against the committed
+  ``BENCH_parallel.json``.  The committed artifact may come from a
+  host with fewer cores (``cpu_count`` is recorded), in which case any
+  multi-core runner clears it easily — the check guards against
+  machinery regressions (task pickling blowups, serialization on the
+  merge path), not against scheduling noise.
+
+Timing on starved runners is noise: with fewer than 4 CPU cores the
+gate **skips with a notice** (exit 0) unless ``--force`` is given.
+Pass ``--skip-parallel`` to check only the reputation engine (the
+parallel smoke sweep costs tens of seconds).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+REPUTATION_ARTIFACT = REPO_ROOT / "BENCH_reputation.json"
+PARALLEL_ARTIFACT = REPO_ROOT / "BENCH_parallel.json"
+
+#: Default tolerated relative slowdown of the dirty+batch speedup ratio.
+DEFAULT_THRESHOLD = 0.30
+
+
+def _load(path: Path) -> dict:
+    if not path.exists():
+        raise SystemExit(f"missing committed artifact {path}; run the full bench first")
+    return json.loads(path.read_text())
+
+
+def check_reputation(threshold: float) -> bool:
+    """Fresh smoke dirty+batch speedup vs the committed smoke reference."""
+    from bench_reputation_cache import SMOKE_REFERENCE, run_bench
+
+    committed = _load(REPUTATION_ARTIFACT)
+    reference = committed.get("smoke_reference")
+    if reference is None:
+        print(
+            "[bench-gate] BENCH_reputation.json predates the smoke_reference "
+            "section; regenerate the full bench to arm the reputation gate"
+        )
+        return True
+    fresh = run_bench(SMOKE_REFERENCE)
+    fresh_ratio = fresh["speedup_dirty_batch"]
+    committed_ratio = reference["speedup_dirty_batch"]
+    floor = committed_ratio * (1.0 - threshold)
+    ok = fresh_ratio >= floor
+    print(
+        f"[bench-gate] reputation dirty+batch speedup: fresh {fresh_ratio:.2f}x "
+        f"vs committed {committed_ratio:.2f}x (floor {floor:.2f}x) -> "
+        f"{'ok' if ok else 'REGRESSION'}"
+    )
+    return ok
+
+
+def check_parallel(threshold: float) -> bool:
+    """Fresh smoke --jobs 2 speedup vs the committed parallel artifact."""
+    from bench_parallel_sweep import run_bench as run_parallel_bench
+
+    from repro.experiments import ScenarioConfig
+
+    committed = _load(PARALLEL_ARTIFACT)
+    committed_speedup = committed["speedups"]["jobs_2"]
+    fresh = run_parallel_bench(
+        ScenarioConfig.tiny(), fig4_peers=200, jobs_levels=(1, 2)
+    )
+    if not fresh["identical_payloads"]:
+        print("[bench-gate] parallel sweep payloads diverged across job levels")
+        return False
+    fresh_speedup = fresh["speedups"]["jobs_2"]
+    floor = committed_speedup * (1.0 - threshold)
+    ok = fresh_speedup >= floor
+    print(
+        f"[bench-gate] parallel jobs_2 speedup: fresh {fresh_speedup:.2f}x "
+        f"vs committed {committed_speedup:.2f}x "
+        f"(committed on {committed.get('cpu_count')} core(s), floor {floor:.2f}x) -> "
+        f"{'ok' if ok else 'REGRESSION'}"
+    )
+    return ok
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="tolerated relative slowdown before failing (default 0.30)",
+    )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="run even on hosts with fewer than 4 CPU cores",
+    )
+    parser.add_argument(
+        "--skip-parallel",
+        action="store_true",
+        help="check only the reputation engine (skip the sweep smoke run)",
+    )
+    args = parser.parse_args(argv)
+
+    cores = os.cpu_count() or 1
+    if cores < 4 and not args.force:
+        print(
+            f"[bench-gate] skipped: only {cores} CPU core(s) available; "
+            "timing ratios on starved runners are noise (use --force to run anyway)"
+        )
+        return 0
+
+    sys.path.insert(0, str(Path(__file__).resolve().parent))
+    ok = check_reputation(args.threshold)
+    if not args.skip_parallel:
+        ok = check_parallel(args.threshold) and ok
+    if not ok:
+        print(
+            f"[bench-gate] FAILED: a hot path slowed down by more than "
+            f"{args.threshold:.0%} relative to the committed artifact"
+        )
+        return 1
+    print("[bench-gate] all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

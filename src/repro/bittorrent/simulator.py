@@ -46,6 +46,7 @@ from repro.core.policies import NoPolicy, ReputationPolicy
 from repro.faults import ChannelModel, ChurnInjector, FaultConfig
 from repro.graph import kernel_invocations_delta, snapshot_kernel_invocations
 from repro.obs import NULL_OBS, Observability
+from repro.obs.provenance import ProvenanceRecorder
 from repro.pss.buddycast import BuddyCastPSS, OraclePSS, PeerSamplingService
 from repro.sim.engine import Simulator
 from repro.sim.process import PeriodicProcess
@@ -91,6 +92,14 @@ class CommunitySimulator:
         counted and timed (``bt.*``, ``gossip.*``) and sampled trace
         events are emitted; run results stay bit-identical either way
         because instrumentation never touches the simulation RNGs.
+    provenance:
+        When True, one shared
+        :class:`~repro.obs.provenance.ProvenanceRecorder` is created and
+        threaded into every node: outgoing gossip messages get stamped
+        ids and every live shared-history claim carries lineage, queried
+        after the run via :mod:`repro.obs.explain`.  Recording consumes
+        no simulation RNG and never feeds back into behaviour, so
+        results are bit-identical either way (pinned by test).
     """
 
     def __init__(
@@ -104,6 +113,7 @@ class CommunitySimulator:
         pss: str = "buddycast",
         faults: Optional[FaultConfig] = None,
         obs: Optional[Observability] = None,
+        provenance: bool = False,
     ) -> None:
         trace.validate()
         self.trace = trace
@@ -140,9 +150,19 @@ class CommunitySimulator:
         self._choker_obs = self.obs if self.obs.enabled else None
         self._kernel_baseline = snapshot_kernel_invocations()
 
+        # Provenance: one recorder shared by every node (lineage itself
+        # lives per-claim inside each node's shared history).  ``None``
+        # when off — nodes then keep their seed-identical fast paths.
+        self.provenance: Optional[ProvenanceRecorder] = (
+            ProvenanceRecorder(obs=self.obs) if provenance else None
+        )
         self.nodes: Dict[int, BarterCastNode] = {
             pid: BarterCastNode(
-                pid, self.bc_config, behavior=roles.behavior_of(pid), obs=self.obs
+                pid,
+                self.bc_config,
+                behavior=roles.behavior_of(pid),
+                obs=self.obs,
+                provenance=self.provenance,
             )
             for pid in trace.peers
         }
@@ -548,7 +568,7 @@ class CommunitySimulator:
             elif loss > 0 and self._gossip_rng.bernoulli(loss):
                 lost += 1
             else:
-                nb.receive_message(msg_a)
+                nb.receive_message(msg_a, now=now)
         msg_b = nb.create_message(now)
         if msg_b is not None:
             if self.channel is not None:
@@ -556,7 +576,7 @@ class CommunitySimulator:
             elif loss > 0 and self._gossip_rng.bernoulli(loss):
                 lost += 1
             else:
-                na.receive_message(msg_b)
+                na.receive_message(msg_b, now=now)
         if self._m_gossip is not None:
             self._m_gossip.inc()
             if lost:
@@ -599,7 +619,7 @@ class CommunitySimulator:
         if not self.is_online(receiver):
             self.channel.note_undeliverable(message.sender, receiver, self.engine.now)
             return
-        self.nodes[receiver].receive_message(message)
+        self.nodes[receiver].receive_message(message, now=self.engine.now)
 
     # ------------------------------------------------------------------
     def run(self, until: Optional[float] = None) -> StatsCollector:

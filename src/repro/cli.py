@@ -9,6 +9,7 @@ Usage::
     python -m repro.cli whitewash [--seed N]
     python -m repro.cli scalability [--peers N]
     python -m repro.cli faults [--losses 0,0.1,0.25,0.5] [--churn R]
+    python -m repro.cli explain --peer I [--subject J] [--profile ...]
     python -m repro.cli all  [--profile ...] [--fig4-peers N]
 
 Each subcommand regenerates one figure of the paper and prints the series
@@ -23,7 +24,18 @@ Fault-injection flags (on every scenario-driven figure command):
     per day).  All default to 0; with every knob at 0 the fault layer is
     never constructed and the run is bit-identical to one without these
     flags.  The ``faults`` subcommand sweeps a loss ladder and reports
-    reputation coverage, false-ban rate and rank-inversion rate.
+    reputation coverage, false-ban rate and rank-inversion rate (add
+    ``--top-k K`` for per-inversion explanation digests).
+
+Provenance (``--provenance``, on every scenario-driven command):
+
+    Record claim lineage — which gossip message delivered each live
+    claim, when, and how many earlier copies it superseded — during the
+    run.  Recording never feeds back into behaviour (results stay
+    bit-identical); it exists for the ``explain`` subcommand, which
+    re-runs a scenario with provenance on and decomposes one peer's
+    subjective reputation of another into maxflow paths, leave-one-out
+    deltas and per-edge claim lineage.
 
 Observability flags (available on every subcommand):
 
@@ -138,6 +150,14 @@ def _build_parser() -> argparse.ArgumentParser:
             "(0 = no churn)",
         )
 
+    def add_provenance(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--provenance",
+            action="store_true",
+            help="record claim lineage during the run (for 'explain'; "
+            "never changes results)",
+        )
+
     def add_common(p: argparse.ArgumentParser) -> None:
         p.add_argument(
             "--profile",
@@ -153,6 +173,7 @@ def _build_parser() -> argparse.ArgumentParser:
             help="also write the figure series as TSV files into DIR",
         )
         add_faults(p)
+        add_provenance(p)
         add_obs(p)
 
     add_common(sub.add_parser("fig1", help="contribution vs reputation"))
@@ -231,7 +252,59 @@ def _build_parser() -> argparse.ArgumentParser:
         default=-0.5,
         help="ban threshold used for the false-ban measure",
     )
+    pf.add_argument(
+        "--top-k",
+        type=int,
+        default=0,
+        metavar="K",
+        help="report the K worst rank inversions per sweep point with "
+        "reputation/contribution digests (0 = off; implies per-point "
+        "provenance recording)",
+    )
+    add_provenance(pf)
     add_obs(pf)
+    pe = sub.add_parser(
+        "explain",
+        help="decompose one subjective reputation into paths and claim lineage",
+    )
+    pe.add_argument(
+        "--peer", type=int, required=True, metavar="I",
+        help="the evaluating peer i (whose subjective view is explained)",
+    )
+    pe.add_argument(
+        "--subject", type=int, default=None, metavar="J",
+        help="the evaluated peer j; omitted: the --top-k peers with the "
+        "largest |R_i(j)|",
+    )
+    pe.add_argument(
+        "--top-k", type=int, default=3, metavar="K",
+        help="how many subjects to explain when --subject is omitted",
+    )
+    pe.add_argument(
+        "--policy",
+        choices=("rank", "ban", "none"),
+        default="rank",
+        help="reputation policy active during the replayed run",
+    )
+    pe.add_argument(
+        "--delta", type=float, default=-0.5,
+        help="ban threshold (only with --policy ban)",
+    )
+    pe.add_argument(
+        "--profile",
+        choices=("tiny", "fast", "paper"),
+        default="fast",
+        help="scenario scale: 'fast' (seconds) or 'paper' (full scale, minutes)",
+    )
+    pe.add_argument("--seed", type=int, default=42, help="root random seed")
+    pe.add_argument(
+        "--export",
+        metavar="PATH",
+        default=None,
+        help="also write the explanation(s) as a JSON document to PATH",
+    )
+    add_faults(pe)
+    add_obs(pe)
     pall = sub.add_parser("all", help="regenerate every figure")
     add_common(pall)
     pall.add_argument(
@@ -344,6 +417,15 @@ def _faults(
     from repro.experiments.faults import run_faults
 
     losses = tuple(float(x) for x in args.losses.split(",") if x.strip())
+    if manifest is not None:
+        manifest.set_faults(
+            {
+                "losses": list(losses),
+                "churn": args.churn,
+                "dup": args.dup,
+                "delay": args.delay,
+            }
+        )
     with manifest.phase("faults"):
         result = run_faults(
             scenario,
@@ -352,12 +434,76 @@ def _faults(
             dup=args.dup,
             delay=args.delay,
             delta=args.delta,
+            top_k=getattr(args, "top_k", 0),
             obs=obs,
             runner=runner,
         )
     print(report.report_faults(result))
     with manifest.phase("export"):
         _maybe_export(export_faults(result), export_dir)
+
+
+def _explain(
+    scenario: ScenarioConfig,
+    args: argparse.Namespace,
+    obs: Optional[Observability] = None,
+    manifest: Optional[ManifestBuilder] = None,
+) -> int:
+    """``repro explain``: replay a scenario with provenance on, then
+    decompose ``R_peer(subject)`` into flow paths and claim lineage."""
+    import json
+
+    from repro.core.policies import BanPolicy, NoPolicy, RankPolicy
+    from repro.experiments.scenario import build_simulation
+    from repro.obs.explain import explain_reputation, render_explanation, top_subjects
+
+    if args.policy == "rank":
+        policy = RankPolicy()
+    elif args.policy == "ban":
+        policy = BanPolicy(delta=args.delta)
+    else:
+        policy = NoPolicy()
+
+    with manifest.phase("simulate"):
+        sim = build_simulation(scenario.with_provenance(), policy=policy, obs=obs)
+        sim.run()
+    if args.peer not in sim.nodes:
+        print(f"error: peer {args.peer} is not in the population", file=sys.stderr)
+        return 2
+    node = sim.nodes[args.peer]
+
+    if args.subject is not None:
+        if args.subject not in sim.nodes:
+            print(
+                f"error: subject {args.subject} is not in the population",
+                file=sys.stderr,
+            )
+            return 2
+        subjects = [args.subject]
+    else:
+        candidates = [p for p in sim.nodes if p != args.peer]
+        subjects = top_subjects(node, candidates, args.top_k)
+
+    explanations = []
+    with manifest.phase("explain"):
+        for subject in subjects:
+            expl = explain_reputation(node, subject)
+            explanations.append(expl)
+            print(render_explanation(expl))
+            print()
+    if sim.provenance is not None:
+        manifest.note("provenance_recorder", sim.provenance.summary())
+    if args.export is not None:
+        doc = (
+            explanations[0].to_json()
+            if len(explanations) == 1
+            else [e.to_json() for e in explanations]
+        )
+        path = Path(args.export)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        print(f"[wrote {path}]")
+    return 0
 
 
 def _fault_config_from_args(args: argparse.Namespace):
@@ -486,6 +632,10 @@ def _manifest_destination(args: argparse.Namespace) -> Optional[Path]:
     next to the trace file; ``None`` when there is no output to annotate."""
     export_dir = getattr(args, "export", None)
     if export_dir is not None:
+        if args.command == "explain":
+            # explain's --export is a JSON file, not a directory; the
+            # manifest lands next to it rather than clobbering it.
+            return Path(export_dir).parent / "run_manifest.json"
         return Path(export_dir)
     trace = getattr(args, "trace", None)
     if trace is not None:
@@ -522,6 +672,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.parallel import ParallelRunner
 
         runner = ParallelRunner(jobs=jobs, obs=obs)
+    from repro.obs import provenance_totals_delta, snapshot_provenance_totals
+
+    prov_base = snapshot_provenance_totals()
+    exit_code = 0
     try:
         if args.command == "fig4":
             _fig4(args.peers, args.seed, export_dir, obs, manifest, runner)
@@ -531,6 +685,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             _scalability(args.peers, args.seed, manifest, runner)
         else:
             scenario = ScenarioConfig.named(args.profile, seed=args.seed)
+            if getattr(args, "provenance", False):
+                scenario = scenario.with_provenance()
             manifest.config = None if scenario is None else _describe_scenario(scenario)
             if args.command != "faults":
                 # The faults sweep builds its own per-point FaultConfig;
@@ -538,7 +694,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                 fault_cfg = _fault_config_from_args(args)
                 if fault_cfg is not None:
                     scenario = scenario.with_faults(fault_cfg)
-            if args.command == "faults":
+                    manifest.set_faults(fault_cfg)
+            if args.command == "explain":
+                exit_code = _explain(scenario, args, obs, manifest)
+            elif args.command == "faults":
                 _faults(scenario, args, export_dir, obs, manifest, runner)
             elif args.command == "fig1":
                 _fig1(scenario, export_dir, obs, manifest, runner)
@@ -564,6 +723,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                     _fig4(fig4_peers, args.seed, export_dir, obs, manifest)
     finally:
         obs.close()
+    prov_delta = provenance_totals_delta(prov_base)
+    if prov_delta:
+        manifest.note("provenance", prov_delta)
     if runner is not None and runner.run_history:
         manifest.note(
             "parallel",
@@ -579,7 +741,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         path = manifest.write(destination, metrics=obs.metrics, tracer=obs.tracer)
         print(f"[wrote {path}]")
     print(f"\n[done in {time.time() - t0:.1f}s]", file=sys.stderr)
-    return 0
+    return exit_code
 
 
 def _describe_scenario(scenario: ScenarioConfig):

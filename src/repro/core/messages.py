@@ -67,11 +67,18 @@ class BarterCastMessage:
         timestamp semantics.
     records:
         The selected history records.
+    msg_id:
+        Optional message identity for provenance.  ``None`` unless the
+        sender stamps one (:meth:`~repro.core.node.BarterCastNode.
+        create_message` uses ``(sender, sequence)`` when provenance is
+        on); receivers treat it as opaque and never use it for
+        supersede decisions — only lineage records carry it.
     """
 
     sender: PeerId
     created_at: float
     records: tuple = field(default_factory=tuple)
+    msg_id: Hashable = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "records", tuple(self.records))

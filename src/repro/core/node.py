@@ -34,7 +34,7 @@ instrument every lookup.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Hashable, Iterable, List, Optional, Tuple
 
 from repro.core.adversary import HonestBehavior, MessageBehavior
@@ -44,6 +44,7 @@ from repro.core.reputation import ReputationMetric
 from repro.core.sharedhistory import SubjectiveSharedHistory
 from repro.graph.transfer_graph import TransferGraph
 from repro.obs import NULL_OBS, Observability
+from repro.obs.provenance import ProvenanceRecorder
 
 __all__ = ["BarterCastConfig", "BarterCastNode", "CACHE_MODES"]
 
@@ -95,6 +96,12 @@ class BarterCastNode:
         send/receive (``bc.message``) and kernel invocations
         (``rep.kernel``).  The disabled default adds one attribute check
         per instrumented block.
+    provenance:
+        Optional :class:`~repro.obs.provenance.ProvenanceRecorder` shared
+        across the simulation.  When enabled, outgoing messages are
+        stamped with a ``(peer_id, sequence)`` msg id and the shared
+        history attaches lineage to every live claim.  Off by default;
+        the flag-off node is byte-identical to the seed behaviour.
     """
 
     def __init__(
@@ -104,6 +111,7 @@ class BarterCastNode:
         behavior: Optional[MessageBehavior] = None,
         cache_mode: str = "dirty",
         obs: Optional[Observability] = None,
+        provenance: Optional[ProvenanceRecorder] = None,
     ) -> None:
         if cache_mode not in CACHE_MODES:
             raise ValueError(
@@ -114,10 +122,14 @@ class BarterCastNode:
         self.behavior: MessageBehavior = behavior if behavior is not None else HonestBehavior()
         self.cache_mode = cache_mode
         self.obs = obs if obs is not None else NULL_OBS
+        self.provenance = provenance
+        self._prov_on = provenance is not None and provenance.enabled
         self.history = PrivateHistory(peer_id)
         self.graph = TransferGraph()
         self.graph.add_node(peer_id)
-        self.shared = SubjectiveSharedHistory(peer_id, self.graph, obs=self.obs)
+        self.shared = SubjectiveSharedHistory(
+            peer_id, self.graph, obs=self.obs, provenance=provenance
+        )
         metrics = self.obs.metrics
         if metrics.enabled:
             self._m_sent = metrics.counter("bc.messages_sent")
@@ -177,6 +189,12 @@ class BarterCastNode:
         msg = self.behavior.make_message(self, now)
         if msg is not None:
             self.messages_sent += 1
+            if self._prov_on and msg.msg_id is None:
+                # Stamp a message identity for lineage records.  The id is
+                # a per-sender sequence number — deterministic, no RNG —
+                # and receivers never consult it for supersede decisions,
+                # so stamping cannot change simulation behaviour.
+                msg = replace(msg, msg_id=(self.peer_id, self.messages_sent))
             if self._m_sent is not None:
                 self._m_sent.inc()
             if self._tr_msg is not None and self._tr_msg.sample():
@@ -187,17 +205,21 @@ class BarterCastNode:
                 )
         return msg
 
-    def receive_message(self, message: BarterCastMessage) -> int:
+    def receive_message(
+        self, message: BarterCastMessage, now: Optional[float] = None
+    ) -> int:
         """Ingest a received message into the subjective shared history.
 
         Messages from self are rejected; records about the receiver are
         dropped inside the store (private history is authoritative there).
-        Returns the number of records applied.
+        ``now`` is the simulated receipt time for lineage records (falls
+        back to the message creation time).  Returns the number of
+        records applied.
         """
         if message.sender == self.peer_id:
             raise ValueError("node received its own message")
         self.messages_received += 1
-        applied = self.shared.ingest(message)
+        applied = self.shared.ingest(message, now=now)
         if self._m_recv is not None:
             self._m_recv.inc()
         if self._tr_msg is not None and self._tr_msg.sample():

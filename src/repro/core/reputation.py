@@ -123,6 +123,26 @@ class ReputationMetric:
             ).value
         return ford_fulkerson(graph, source, sink).value
 
+    def maxflow_result(
+        self,
+        graph: TransferGraph,
+        source: PeerId,
+        sink: PeerId,
+        record_paths: bool = False,
+    ):
+        """The full kernel result, optionally with the path decomposition.
+
+        Used by the explain path (:mod:`repro.obs.explain`); the flow
+        value is bit-identical to :meth:`maxflow` either way.
+        """
+        if self.kernel == "two_hop":
+            return maxflow_two_hop(graph, source, sink, record_paths=record_paths)
+        if self.kernel == "bounded":
+            return bounded_ford_fulkerson(
+                graph, source, sink, max_hops=self.max_hops, record_paths=record_paths
+            )
+        return ford_fulkerson(graph, source, sink, record_paths=record_paths)
+
     def reputation(self, graph: TransferGraph, i: PeerId, j: PeerId) -> float:
         """The subjective reputation ``R_i(j)`` of peer ``j`` at peer ``i``.
 

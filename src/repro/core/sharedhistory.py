@@ -41,6 +41,7 @@ from typing import Dict, Hashable, Iterator, Optional, Set, Tuple
 from repro.core.messages import BarterCastMessage, HistoryRecord
 from repro.graph.transfer_graph import TransferGraph
 from repro.obs import NULL_OBS, Observability
+from repro.obs.provenance import NULL_PROVENANCE, ClaimLineage, ProvenanceRecorder
 
 __all__ = ["SubjectiveSharedHistory"]
 
@@ -49,10 +50,20 @@ PeerId = Hashable
 
 @dataclass
 class _Claim:
-    """A reporter's latest claim about one directed edge."""
+    """A reporter's latest claim about one directed edge.
+
+    ``lineage`` is ``None`` unless provenance recording is enabled, in
+    which case it is the compact raw tuple ``(msg_id, received_at,
+    superseded_count)`` describing the message that delivered the live
+    value.  The full :class:`repro.obs.provenance.ClaimLineage` view is
+    synthesized lazily by :meth:`SubjectiveSharedHistory.lineage_of`
+    (the other fields — reporter, value, reported_at — already live on
+    the claim), keeping the ingest hot path to one tuple allocation.
+    """
 
     value: float
     reported_at: float
+    lineage: Optional[Tuple[Hashable, float, int]] = None
 
 
 class SubjectiveSharedHistory:
@@ -69,6 +80,13 @@ class SubjectiveSharedHistory:
         Observability bundle; when enabled, record merges are counted
         (``bc.records_applied`` / ``bc.records_dropped``) and each ingest
         emits one sampled ``bc.merge`` trace event.
+    provenance:
+        Optional :class:`~repro.obs.provenance.ProvenanceRecorder`.  When
+        enabled, every live claim carries a :class:`ClaimLineage` and
+        lineage events (record/supersede/redelivery/stale/forget) are
+        counted.  Defaults to the no-op :data:`NULL_PROVENANCE`; every
+        hot-path hook is guarded by a cached boolean so a provenance-off
+        store behaves byte-identically to the seed implementation.
 
     Notes
     -----
@@ -84,9 +102,19 @@ class SubjectiveSharedHistory:
         owner: PeerId,
         graph: TransferGraph,
         obs: Optional[Observability] = None,
+        provenance: Optional[ProvenanceRecorder] = None,
     ) -> None:
         self.owner = owner
         self._graph = graph
+        self._prov = provenance if provenance is not None else NULL_PROVENANCE
+        self._prov_on = self._prov.enabled
+        # Bound-method cache: record_claim fires once per applied claim on
+        # the gossip hot path.
+        self._prov_record_claim = self._prov.record_claim
+        # Per-ingest delivery context (msg id + receipt time), stashed here
+        # so the claim-update hot path keeps its seed signature.
+        self._msg_id: Hashable = None
+        self._received_at = 0.0
         # (src, dst) -> {reporter: _Claim}
         self._claims: Dict[Tuple[PeerId, PeerId], Dict[PeerId, _Claim]] = {}
         self._messages_seen = 0
@@ -120,8 +148,13 @@ class SubjectiveSharedHistory:
         return self._records_dropped
 
     # ------------------------------------------------------------------
-    def ingest(self, message: BarterCastMessage) -> int:
+    def ingest(self, message: BarterCastMessage, now: Optional[float] = None) -> int:
         """Apply a received message; returns the number of records applied.
+
+        ``now`` is the simulated receipt time, recorded into claim lineage
+        when provenance is on (the delaying channel of :mod:`repro.faults`
+        makes it differ from ``message.created_at``).  When omitted, the
+        creation time is used.
 
         Raises
         ------
@@ -131,6 +164,15 @@ class SubjectiveSharedHistory:
         if message.sender == self.owner:
             raise ValueError("a node cannot ingest its own message")
         self._messages_seen += 1
+        if self._prov_on:
+            self._msg_id = (
+                message.msg_id
+                if message.msg_id is not None
+                else (message.sender, message.created_at)
+            )
+            self._received_at = float(
+                message.created_at if now is None else now
+            )
         applied = 0
         sane = message.sane_records()
         self._records_dropped += message.num_records - len(sane)
@@ -184,16 +226,51 @@ class SubjectiveSharedHistory:
         existing = claims.get(reporter)
         if existing is not None:
             if existing.reported_at > reported_at:
+                if self._prov_on:
+                    self._prov.record_stale(self.owner, edge, reporter)
                 return False  # stale
             if existing.reported_at == reported_at and value <= existing.value:
                 # Redelivered or reordered copy of an equal-timestamp
                 # message: the tie rule keeps the max value, so the view
                 # is independent of arrival order (delivery idempotency).
+                # Lineage likewise stays put — the live claim is unchanged.
+                if self._prov_on:
+                    self._prov.record_redelivery(self.owner, edge, reporter)
                 return False
             if existing.value == value:
                 existing.reported_at = reported_at
+                if self._prov_on:
+                    # A fresher message confirmed the same total: refresh
+                    # the lineage to the confirming message (superseded
+                    # counts every replaced/confirmed predecessor; a claim
+                    # that predates provenance recording counts as one
+                    # predecessor of unknown history).
+                    old = existing.lineage
+                    existing.lineage = lineage = (
+                        self._msg_id,
+                        self._received_at,
+                        old[2] + 1 if old is not None else 1,
+                    )
+                    self._prov_record_claim(self.owner, edge, reporter, lineage, True)
                 return False  # no change
-        claims[reporter] = _Claim(value=float(value), reported_at=float(reported_at))
+        if self._prov_on:
+            if existing is None:
+                lineage = (self._msg_id, self._received_at, 0)
+            else:
+                old = existing.lineage
+                lineage = (
+                    self._msg_id,
+                    self._received_at,
+                    old[2] + 1 if old is not None else 1,
+                )
+            self._prov_record_claim(
+                self.owner, edge, reporter, lineage, existing is not None
+            )
+        else:
+            lineage = None
+        claims[reporter] = _Claim(
+            value=float(value), reported_at=float(reported_at), lineage=lineage
+        )
         self._materialize(edge)
         return True
 
@@ -248,7 +325,41 @@ class SubjectiveSharedHistory:
                 changed += 1
                 if not claims:
                     del self._claims[edge]
+        if self._prov_on and changed:
+            self._prov.record_forget(self.owner, reporter, changed)
         return changed
+
+    # ------------------------------------------------------------------
+    @property
+    def provenance_enabled(self) -> bool:
+        """Whether live claims carry lineage records."""
+        return self._prov_on
+
+    def lineage_of(
+        self, src: PeerId, dst: PeerId
+    ) -> Dict[PeerId, ClaimLineage]:
+        """Lineage of every live claim about edge ``(src, dst)``.
+
+        Keyed by reporter; empty when provenance is off or nothing is
+        known about the pair.  Claims ingested before provenance was
+        enabled carry no lineage and are omitted.
+        """
+        claims = self._claims.get((src, dst))
+        if not claims:
+            return {}
+        return {
+            reporter: ClaimLineage(
+                reporter=reporter,
+                msg_id=claim.lineage[0],
+                value=claim.value,
+                reported_at=claim.reported_at,
+                received_at=claim.lineage[1],
+                hops=1,
+                superseded=claim.lineage[2],
+            )
+            for reporter, claim in claims.items()
+            if claim.lineage is not None
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -20,6 +20,15 @@ top) it runs the community simulation and reports
   with higher ground-truth contribution that an evaluator nevertheless
   ranks *below* the freerider.
 
+With ``top_k > 0`` each sweep point additionally runs with provenance
+recording on and carries :class:`InversionDigest` entries for the K
+worst inversions (largest subjective rank gap): who mis-ranked whom,
+the ground-truth contributions, the evaluator's maxflow evidence toward
+the sharer, and how many gossip claims back that evidence — enough to
+see *why* the inversion happened (usually: the sharer's contribution
+evidence was lost or never gossiped).  Recording never changes the
+measures; the sweep stays bit-identical with ``top_k = 0``.
+
 Runs use :class:`~repro.core.policies.NoPolicy` so the byte flow is
 identical across fault levels (reputations are measured, never acted
 on) — differences in the three measures isolate the gossip plane.
@@ -34,7 +43,7 @@ All points are independent simulations, so the sweep parallelizes under
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.experiments.scenario import ScenarioConfig, build_simulation
@@ -44,6 +53,7 @@ from repro.obs import Observability
 __all__ = [
     "FaultPoint",
     "FaultsResult",
+    "InversionDigest",
     "run_fault_point",
     "fault_tasks",
     "assemble_faults",
@@ -57,6 +67,31 @@ DEFAULT_LOSSES: Tuple[float, ...] = (0.0, 0.1, 0.25, 0.5)
 #: Default ban threshold used for the false-ban measure (the paper's
 #: middle δ of Figure 2(c)).
 DEFAULT_DELTA = -0.5
+
+
+@dataclass
+class InversionDigest:
+    """Why one rank inversion happened (the ``top_k`` explain digest).
+
+    ``severity`` is the subjective rank gap ``R_i(freerider) −
+    R_i(sharer)`` (how wrong the evaluator's order is);
+    ``sharer_inflow/outflow`` are the evaluator's maxflow evidence
+    toward the mis-ranked sharer, and ``sharer_claims`` counts the live
+    gossip claims backing the sharer-incident edges of the evaluator's
+    subjective graph (0 ⇒ the evidence never arrived).
+    """
+
+    evaluator: int
+    sharer: int
+    freerider: int
+    sharer_rep: float
+    freerider_rep: float
+    sharer_contribution: float
+    freerider_contribution: float
+    severity: float
+    sharer_inflow: float
+    sharer_outflow: float
+    sharer_claims: int
 
 
 @dataclass
@@ -77,6 +112,8 @@ class FaultPoint:
     crashes: int
     wipes: int
     audit_violations: int
+    #: The ``top_k`` worst inversions of this point (empty when off).
+    digests: List[InversionDigest] = field(default_factory=list)
 
 
 @dataclass
@@ -169,6 +206,64 @@ def _reputation_measures(
     return false_ban, inversion
 
 
+def _inversion_digests(
+    sim, contribution: Dict[int, float], top_k: int
+) -> List[InversionDigest]:
+    """The ``top_k`` worst inversions, each with its maxflow/claim evidence.
+
+    Re-walks the same pair loop as :func:`_reputation_measures`; the
+    reputation lookups are cache hits by then, so the second pass is
+    cheap.  Digest order: descending rank gap, then (evaluator, sharer,
+    freerider) for determinism.
+    """
+    sharers = list(sim.roles.sharers)
+    freeriders = list(sim.roles.freeriders)
+    subjects = sorted(set(sharers) | set(freeriders))
+    inversions: List[Tuple[float, int, int, int, float, float]] = []
+    for evaluator in subjects:
+        node = sim.nodes[evaluator]
+        reps = node.reputations_of(p for p in subjects if p != evaluator)
+        for s in sharers:
+            if s == evaluator:
+                continue
+            for f in freeriders:
+                if f == evaluator or contribution[s] <= contribution[f]:
+                    continue
+                if reps[s] < reps[f]:
+                    inversions.append(
+                        (reps[f] - reps[s], evaluator, s, f, reps[s], reps[f])
+                    )
+    inversions.sort(key=lambda t: (-t[0], t[1], t[2], t[3]))
+    digests: List[InversionDigest] = []
+    for severity, evaluator, s, f, rep_s, rep_f in inversions[: max(0, top_k)]:
+        node = sim.nodes[evaluator]
+        metric = node.config.metric
+        inflow = metric.maxflow(node.graph, s, evaluator)
+        outflow = metric.maxflow(node.graph, evaluator, s)
+        claims = 0
+        if node.graph.has_node(s):
+            for v in sorted(node.graph.successors(s), key=repr):
+                claims += len(node.shared.lineage_of(s, v))
+            for v in sorted(node.graph.predecessors(s), key=repr):
+                claims += len(node.shared.lineage_of(v, s))
+        digests.append(
+            InversionDigest(
+                evaluator=evaluator,
+                sharer=s,
+                freerider=f,
+                sharer_rep=rep_s,
+                freerider_rep=rep_f,
+                sharer_contribution=contribution[s],
+                freerider_contribution=contribution[f],
+                severity=severity,
+                sharer_inflow=inflow,
+                sharer_outflow=outflow,
+                sharer_claims=claims,
+            )
+        )
+    return digests
+
+
 # ----------------------------------------------------------------------
 # One sweep point
 # ----------------------------------------------------------------------
@@ -176,14 +271,26 @@ def run_fault_point(
     scenario: ScenarioConfig,
     faults: FaultConfig,
     delta: float = DEFAULT_DELTA,
+    top_k: int = 0,
     obs: Optional[Observability] = None,
 ) -> FaultPoint:
-    """Run one fault level end to end and compute its measures."""
-    sim = build_simulation(scenario.with_faults(faults), obs=obs)
+    """Run one fault level end to end and compute its measures.
+
+    ``top_k > 0`` turns on provenance recording for the point and
+    attaches digests of the K worst rank inversions (see module
+    docstring); the measures themselves are unaffected.
+    """
+    point_scenario = scenario.with_faults(faults)
+    if top_k > 0:
+        point_scenario = point_scenario.with_provenance()
+    sim = build_simulation(point_scenario, obs=obs)
     sim.run()
     gt_edges, contribution = _ground_truth(sim)
     coverage = _coverage(sim, gt_edges)
     false_ban, inversion = _reputation_measures(sim, contribution, delta)
+    digests = (
+        _inversion_digests(sim, contribution, top_k) if top_k > 0 else []
+    )
     violations = audit_simulation(sim, max_rep_targets=5)
     channel = sim.channel
     churn = sim.churn
@@ -202,6 +309,7 @@ def run_fault_point(
         crashes=0 if churn is None else churn.crashes,
         wipes=0 if churn is None else churn.wipes,
         audit_violations=len(violations),
+        digests=digests,
     )
 
 
@@ -227,15 +335,20 @@ def fault_tasks(
     dup: float = 0.0,
     delay: float = 0.0,
     delta: float = DEFAULT_DELTA,
+    top_k: int = 0,
 ) -> List[Any]:
     """The independent sweep tasks, one per fault level, in ladder order."""
     from repro.parallel import SweepTask
 
+    params_extra = {"top_k": top_k} if top_k > 0 else {}
     return [
         SweepTask(
             task_id=f"faults/loss{cfg.loss:g}_churn{cfg.churn_rate:g}",
             experiment="fault_point",
-            params={"scenario": scenario, "faults": cfg, "delta": delta},
+            params={
+                "scenario": scenario, "faults": cfg, "delta": delta,
+                **params_extra,
+            },
             seed=scenario.seed,
             profile=scenario.name,
         )
@@ -259,6 +372,7 @@ def run_faults(
     dup: float = 0.0,
     delay: float = 0.0,
     delta: float = DEFAULT_DELTA,
+    top_k: int = 0,
     obs: Optional[Observability] = None,
     runner=None,
 ) -> FaultsResult:
@@ -268,7 +382,7 @@ def run_faults(
     from repro.parallel import run_sweep
 
     payloads = run_sweep(
-        fault_tasks(scenario, losses, churn, dup, delay, delta),
+        fault_tasks(scenario, losses, churn, dup, delay, delta, top_k),
         runner=runner,
         obs=obs,
     )

@@ -194,6 +194,28 @@ def report_faults(result: FaultsResult) -> str:
             rows,
         )
     )
+    if any(p.digests for p in result.points):
+        MB = 1024.0 * 1024.0
+        lines.append("")
+        lines.append("== Worst rank inversions (--top-k digests) ==")
+        for p in result.points:
+            if not p.digests:
+                continue
+            lines.append(f"loss={p.loss:g} churn/day={p.churn:g}:")
+            for d in p.digests:
+                lines.append(
+                    f"  peer {d.evaluator} ranks freerider {d.freerider} "
+                    f"(R={d.freerider_rep:+.3f}) above sharer {d.sharer} "
+                    f"(R={d.sharer_rep:+.3f}, gap {d.severity:.3f})"
+                )
+                lines.append(
+                    f"    ground truth: sharer contributed "
+                    f"{d.sharer_contribution / MB:+.0f} MB vs freerider "
+                    f"{d.freerider_contribution / MB:+.0f} MB; evaluator sees "
+                    f"inflow {d.sharer_inflow / MB:.0f} MB / outflow "
+                    f"{d.sharer_outflow / MB:.0f} MB from the sharer over "
+                    f"{d.sharer_claims} gossip claim(s)"
+                )
     violations = result.total_violations
     lines.append(
         f"invariant audit: {violations} violation(s) across "

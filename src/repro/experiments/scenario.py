@@ -76,6 +76,11 @@ class ScenarioConfig:
         (:class:`~repro.faults.FaultConfig`); ``None`` (default) and
         null configs leave the simulation byte-identical to a faultless
         build.
+    provenance:
+        When True the simulation records claim lineage (message ids,
+        receipt times, supersede counts) for post-run explanation via
+        ``repro explain``.  Off by default; recording never feeds back
+        into behaviour, so results are bit-identical either way.
     """
 
     name: str
@@ -87,6 +92,7 @@ class ScenarioConfig:
     freerider_fraction: float = 0.5
     seed: int = 42
     faults: Optional[FaultConfig] = None
+    provenance: bool = False
 
     # ------------------------------------------------------------------
     @classmethod
@@ -216,6 +222,10 @@ class ScenarioConfig:
         """A copy of this scenario with a different fault schedule."""
         return replace(self, faults=faults)
 
+    def with_provenance(self, provenance: bool = True) -> "ScenarioConfig":
+        """A copy of this scenario with lineage recording toggled."""
+        return replace(self, provenance=provenance)
+
 
 def build_simulation(
     scenario: ScenarioConfig,
@@ -243,4 +253,5 @@ def build_simulation(
         seed=scenario.seed,
         faults=scenario.faults,
         obs=obs,
+        provenance=scenario.provenance,
     )

@@ -19,8 +19,17 @@ no matter how peers churn, a peer's subjective view must stay inside the
    the owner's own accounting, byte for byte.
 3. **Reputations stay in the open interval (−1, 1)** (the arctan-scaled
    maxflow metric's codomain).
+4. **Recorded lineage reconstructs the view** (only when the run
+   recorded provenance): for every materialized third-party edge, the
+   max over the live claims' lineage values must equal the edge
+   capacity byte for byte, every individual lineage value must itself
+   fit the honest envelope, and the delivery metadata must be sane
+   (``received_at ≥ reported_at``, gossip hop count 1).  This is the
+   cross-check that the explanation ``repro explain`` prints is the
+   view the node actually acts on, not a parallel bookkeeping that
+   could drift.
 
-The auditor checks all three for one node or a whole simulation and
+The auditor checks all of these for one node or a whole simulation and
 returns human-readable violation strings (empty list = invariants hold).
 The fault sweep asserts on it after every run, and the property tests in
 ``tests/test_faults.py`` drive it over random fault schedules.
@@ -114,6 +123,58 @@ def audit_node(
             violations.append(
                 f"reputation R_{owner!r}({target!r}) = {rep} outside (-1, 1)"
             )
+    if getattr(node.shared, "provenance_enabled", False):
+        violations.extend(_audit_lineage(node, histories))
+    return violations
+
+
+def _audit_lineage(
+    node: BarterCastNode, histories: Mapping[PeerId, PrivateHistory]
+) -> List[str]:
+    """Invariant 4: recorded lineage must reconstruct the subjective view.
+
+    Only called when the node's shared history recorded provenance for
+    the whole run, so every live third-party claim carries lineage and
+    the max over lineage values must reproduce the materialized edge.
+    """
+    owner = node.peer_id
+    violations: List[str] = []
+    for src, dst, capacity in node.graph.edges():
+        if capacity <= 0.0 or src == owner or dst == owner:
+            continue
+        lineage = node.shared.lineage_of(src, dst)
+        if not lineage:
+            violations.append(
+                f"edge {src!r}->{dst!r} in view of {owner!r} is {capacity:.1f} "
+                f"but carries no claim lineage"
+            )
+            continue
+        reconstructed = max(entry.value for entry in lineage.values())
+        if abs(reconstructed - capacity) > REL_EPS * max(1.0, capacity):
+            violations.append(
+                f"lineage of edge {src!r}->{dst!r} in view of {owner!r} "
+                f"replays to {reconstructed:.1f}, graph says {capacity:.1f}"
+            )
+        bound = max_honest_claim(histories, src, dst)
+        for reporter, entry in lineage.items():
+            if entry.value > bound * (1.0 + REL_EPS) + REL_EPS:
+                violations.append(
+                    f"lineage claim by {reporter!r} on {src!r}->{dst!r} in "
+                    f"view of {owner!r} is {entry.value:.1f}, exceeds the "
+                    f"honest envelope {bound:.1f}"
+                )
+            if entry.received_at < entry.reported_at:
+                violations.append(
+                    f"lineage claim by {reporter!r} on {src!r}->{dst!r} in "
+                    f"view of {owner!r} was received at {entry.received_at:.1f} "
+                    f"before it was reported at {entry.reported_at:.1f}"
+                )
+            if entry.hops != 1:
+                violations.append(
+                    f"lineage claim by {reporter!r} on {src!r}->{dst!r} in "
+                    f"view of {owner!r} has hop count {entry.hops}; gossip "
+                    f"is never forwarded (expected 1)"
+                )
     return violations
 
 

@@ -25,11 +25,13 @@ Plus the batched form (:mod:`repro.graph.batch`):
 from repro.graph.transfer_graph import TransferGraph
 from repro.graph.batch import maxflow_two_hop_batch
 from repro.graph.maxflow import (
+    FlowPath,
     FlowResult,
     bounded_ford_fulkerson,
     ford_fulkerson,
     kernel_invocations,
     kernel_invocations_delta,
+    leave_one_out_values,
     maxflow_two_hop,
     merge_kernel_invocations,
     reset_kernel_invocations,
@@ -38,10 +40,12 @@ from repro.graph.maxflow import (
 
 __all__ = [
     "TransferGraph",
+    "FlowPath",
     "FlowResult",
     "ford_fulkerson",
     "bounded_ford_fulkerson",
     "maxflow_two_hop",
+    "leave_one_out_values",
     "maxflow_two_hop_batch",
     "kernel_invocations",
     "snapshot_kernel_invocations",

@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Iterable, Tuple
 
-from repro.graph.maxflow import KERNEL_INVOCATIONS
+from repro.graph.maxflow import KERNEL_INVOCATIONS, _two_hop_paths
 from repro.graph.transfer_graph import TransferGraph
 
 __all__ = ["maxflow_two_hop_batch"]
@@ -40,8 +40,11 @@ KERNEL_INVOCATIONS.setdefault("maxflow_two_hop_batch_targets", 0)
 
 
 def maxflow_two_hop_batch(
-    graph: TransferGraph, owner: PeerId, targets: Iterable[PeerId]
-) -> Dict[PeerId, Tuple[float, float]]:
+    graph: TransferGraph,
+    owner: PeerId,
+    targets: Iterable[PeerId],
+    record_paths: bool = False,
+) -> Dict[PeerId, Tuple]:
     """2-hop maxflows between ``owner`` and every target, one graph pass each.
 
     Parameters
@@ -52,6 +55,10 @@ def maxflow_two_hop_batch(
         The evaluating peer ``i`` (maxflow endpoint for both directions).
     targets:
         Candidate peers ``j``; duplicates and ``owner`` itself are skipped.
+    record_paths:
+        When True, each entry additionally carries the exact 2-hop path
+        decompositions of both directions (the explain path; the online
+        flag-off loops below are untouched).
 
     Returns
     -------
@@ -60,14 +67,32 @@ def maxflow_two_hop_batch(
         (service received, directly or via one intermediary) and
         ``outflow = maxflow2(owner -> j)`` (service provided).  Each value
         is bit-identical to the corresponding scalar
-        :func:`~repro.graph.maxflow.maxflow_two_hop` call.
+        :func:`~repro.graph.maxflow.maxflow_two_hop` call.  With
+        ``record_paths`` the entries are ``(inflow, outflow, in_paths,
+        out_paths)`` with tuples of
+        :class:`~repro.graph.maxflow.FlowPath`; the flow values stay
+        bit-identical (the recording twin mirrors the accumulation
+        order).
     """
-    results: Dict[PeerId, Tuple[float, float]] = {}
+    results: Dict[PeerId, Tuple] = {}
     KERNEL_INVOCATIONS["maxflow_two_hop_batch"] += 1
     if not graph.has_node(owner):
+        empty = (0.0, 0.0, (), ()) if record_paths else (0.0, 0.0)
         for j in targets:
             if j != owner:
-                results[j] = (0.0, 0.0)
+                results[j] = empty
+        return results
+    if record_paths:
+        for j in targets:
+            if j == owner or j in results:
+                continue
+            if not graph.has_node(j):
+                results[j] = (0.0, 0.0, (), ())
+                continue
+            inflow, in_paths = _two_hop_paths(graph, j, owner)
+            outflow, out_paths = _two_hop_paths(graph, owner, j)
+            results[j] = (inflow, outflow, in_paths, out_paths)
+        KERNEL_INVOCATIONS["maxflow_two_hop_batch_targets"] += len(results)
         return results
 
     out_i = graph.successors(owner)

@@ -31,6 +31,20 @@ as capacities:
 
 All kernels return a :class:`FlowResult` carrying the flow value and, for
 the iterative kernels, the per-edge flow assignment for inspection.
+
+Path attribution (``record_paths=True``)
+----------------------------------------
+Every kernel can additionally record the augmenting paths it applied as
+:class:`FlowPath` entries (path nodes, routed flow, bottleneck edge,
+per-edge residual capacities).  For the 2-hop kernels the decomposition
+is *exact and unique*: the closed form routes ``c(s,t)`` on the direct
+edge and ``min(c(s,v), c(v,t))`` through each intermediary ``v``, and
+because distinct ≤2-hop paths are edge-disjoint (module docstring), the
+recorded path flows always sum to the flow value and removing one
+intermediary's path gives the exact flow of the graph without it —
+leave-one-out deltas need no re-solve (:func:`leave_one_out_values`).
+Recording is off by default and the flag-off code paths are untouched,
+so the online kernels stay byte-identical to the seed implementation.
 """
 
 from __future__ import annotations
@@ -41,10 +55,12 @@ from typing import Dict, Hashable, List, Mapping, Optional, Tuple
 from repro.graph.transfer_graph import TransferGraph
 
 __all__ = [
+    "FlowPath",
     "FlowResult",
     "ford_fulkerson",
     "bounded_ford_fulkerson",
     "maxflow_two_hop",
+    "leave_one_out_values",
     "kernel_invocations",
     "snapshot_kernel_invocations",
     "kernel_invocations_delta",
@@ -115,6 +131,46 @@ def reset_kernel_invocations() -> None:
         KERNEL_INVOCATIONS[key] = 0
 
 
+@dataclass(frozen=True)
+class FlowPath:
+    """One augmenting path of a recorded flow decomposition.
+
+    Attributes
+    ----------
+    nodes:
+        The path vertices, source first, sink last (``(s, t)`` for the
+        direct edge, ``(s, v, t)`` for a 2-hop path via ``v``).
+    flow:
+        Bytes routed along this path.
+    bottleneck:
+        The capacity-limiting edge (the first edge attaining the path's
+        bottleneck residual at selection time).
+    residuals:
+        Residual capacity of each path edge *after* this path's flow was
+        routed (same order as the edges of ``nodes``); the bottleneck
+        edge's entry is 0 up to float rounding.
+    """
+
+    nodes: Tuple[PeerId, ...]
+    flow: float
+    bottleneck: Edge
+    residuals: Tuple[float, ...]
+
+    @property
+    def intermediaries(self) -> Tuple[PeerId, ...]:
+        """The interior vertices (empty for a direct edge)."""
+        return self.nodes[1:-1]
+
+    def to_json(self) -> dict:
+        """JSON-safe rendering for ``--export``."""
+        return {
+            "nodes": list(self.nodes),
+            "flow": self.flow,
+            "bottleneck": list(self.bottleneck),
+            "residuals": list(self.residuals),
+        }
+
+
 @dataclass
 class FlowResult:
     """Outcome of a maxflow computation.
@@ -130,6 +186,10 @@ class FlowResult:
         the closed-form kernel (which never materializes flows).
     augmenting_paths:
         Number of augmenting paths applied (0 for the closed form).
+    paths:
+        The recorded path decomposition; empty unless the kernel was
+        called with ``record_paths=True``.  For ≤2-hop kernels the path
+        flows sum to ``value`` exactly (see module docstring).
     """
 
     value: float
@@ -137,9 +197,38 @@ class FlowResult:
     sink: PeerId
     flows: Dict[Edge, float] = field(default_factory=dict)
     augmenting_paths: int = 0
+    paths: Tuple[FlowPath, ...] = ()
 
     def __float__(self) -> float:
         return self.value
+
+
+def leave_one_out_values(result: FlowResult) -> Dict[PeerId, float]:
+    """Flow value without each intermediary, from recorded paths alone.
+
+    Returns ``{v: flow value if v were removed}`` for every interior
+    vertex of every recorded path.  No re-solve happens: each
+    intermediary's contribution is the sum of the flows of the paths
+    passing through it.  For ≤2-hop decompositions this is **exact** —
+    distinct paths are edge-disjoint, so deleting ``v`` removes exactly
+    its own paths and frees no capacity elsewhere.  For longer-hop
+    results (``ford_fulkerson`` with ``record_paths=True``) removing a
+    vertex may allow re-routing, so the returned value is only a lower
+    bound on the true flow without ``v``.
+
+    Raises
+    ------
+    ValueError
+        If ``result`` carries no recorded paths but has nonzero value
+        (i.e. the kernel was not asked to record).
+    """
+    if not result.paths and result.value != 0.0:
+        raise ValueError("FlowResult has no recorded paths (record_paths=False?)")
+    through: Dict[PeerId, float] = {}
+    for path in result.paths:
+        for v in path.nodes[1:-1]:
+            through[v] = through.get(v, 0.0) + path.flow
+    return {v: result.value - f for v, f in through.items()}
 
 
 class _Residual:
@@ -198,6 +287,7 @@ def _run_ford_fulkerson(
     sink: PeerId,
     max_hops: Optional[int],
     eps: float,
+    record_paths: bool = False,
 ) -> FlowResult:
     if source == sink:
         raise ValueError("source and sink must differ")
@@ -206,12 +296,27 @@ def _run_ford_fulkerson(
         return result
     residual = _Residual(graph)
     flows: Dict[Edge, float] = {}
+    recorded: List[FlowPath] = []
     while True:
         path = residual.find_path_dfs(source, sink, max_hops, eps)
         if path is None:
             break
         amount = residual.bottleneck(path)
         residual.push(path, amount)
+        if record_paths:
+            edges = list(zip(path, path[1:]))
+            after = tuple(residual.r[a][b] for a, b in edges)
+            # First edge whose post-push residual hit (near) zero is the
+            # bottleneck that limited this augmentation.
+            bottleneck = edges[min(range(len(after)), key=after.__getitem__)]
+            recorded.append(
+                FlowPath(
+                    nodes=tuple(path),
+                    flow=amount,
+                    bottleneck=bottleneck,
+                    residuals=after,
+                )
+            )
         for a, b in zip(path, path[1:]):
             # Net flow bookkeeping: pushing on (a, b) cancels flow on (b, a)
             # first (the "reverse direction" decrease of Algorithm 1 line 9).
@@ -227,11 +332,18 @@ def _run_ford_fulkerson(
         result.value += amount
         result.augmenting_paths += 1
     result.flows = flows
+    if record_paths:
+        result.paths = tuple(recorded)
     return result
 
 
 def ford_fulkerson(
-    graph: TransferGraph, source: PeerId, sink: PeerId, *, eps: float = 1e-9
+    graph: TransferGraph,
+    source: PeerId,
+    sink: PeerId,
+    *,
+    eps: float = 1e-9,
+    record_paths: bool = False,
 ) -> FlowResult:
     """Exact maximum flow via Ford–Fulkerson with DFS path search.
 
@@ -239,12 +351,18 @@ def ford_fulkerson(
     capacity an edge must have to be traversed; with byte-valued capacities
     the default is effectively "any positive capacity".
 
+    ``record_paths`` attaches the applied augmenting paths to the result;
+    note that for unbounded hops the decomposition is not unique and
+    leave-one-out deltas derived from it are only lower bounds.
+
     Complexity: O(E * f / eps) in pathological real-valued cases, but
     transfer graphs have integral byte weights in practice and the DFS
     terminates quickly on the small local graphs BarterCast builds.
     """
     KERNEL_INVOCATIONS["ford_fulkerson"] += 1
-    return _run_ford_fulkerson(graph, source, sink, max_hops=None, eps=eps)
+    return _run_ford_fulkerson(
+        graph, source, sink, max_hops=None, eps=eps, record_paths=record_paths
+    )
 
 
 def bounded_ford_fulkerson(
@@ -254,6 +372,7 @@ def bounded_ford_fulkerson(
     *,
     max_hops: int = 2,
     eps: float = 1e-9,
+    record_paths: bool = False,
 ) -> FlowResult:
     """Maximum flow over augmenting paths of at most ``max_hops`` edges.
 
@@ -267,20 +386,40 @@ def bounded_ford_fulkerson(
     if max_hops < 1:
         raise ValueError(f"max_hops must be >= 1, got {max_hops}")
     KERNEL_INVOCATIONS["bounded_ford_fulkerson"] += 1
-    return _run_ford_fulkerson(graph, source, sink, max_hops=max_hops, eps=eps)
+    return _run_ford_fulkerson(
+        graph, source, sink, max_hops=max_hops, eps=eps, record_paths=record_paths
+    )
 
 
-def maxflow_two_hop(graph: TransferGraph, source: PeerId, sink: PeerId) -> FlowResult:
+def maxflow_two_hop(
+    graph: TransferGraph,
+    source: PeerId,
+    sink: PeerId,
+    *,
+    record_paths: bool = False,
+) -> FlowResult:
     """Closed-form 2-hop bounded maxflow (BarterCast's online kernel).
 
     Evaluates ``c(s,t) + sum_v min(c(s,v), c(v,t))`` by scanning the smaller
     of the source's out-neighbourhood and the sink's in-neighbourhood.
+
+    ``record_paths`` additionally returns the (unique, exact) 2-hop path
+    decomposition; the flag-off fast path is untouched.
     """
     if source == sink:
         raise ValueError("source and sink must differ")
     KERNEL_INVOCATIONS["maxflow_two_hop"] += 1
     if not graph.has_node(source) or not graph.has_node(sink):
         return FlowResult(value=0.0, source=source, sink=sink)
+    if record_paths:
+        total, paths = _two_hop_paths(graph, source, sink)
+        return FlowResult(
+            value=total,
+            source=source,
+            sink=sink,
+            augmenting_paths=len(paths),
+            paths=paths,
+        )
     out_s = graph.successors(source)
     in_t = graph.predecessors(sink)
     total = out_s.get(sink, 0.0)
@@ -300,3 +439,63 @@ def maxflow_two_hop(graph: TransferGraph, source: PeerId, sink: PeerId) -> FlowR
             if c_sv:
                 total += min(c_sv, c_vt)
     return FlowResult(value=total, source=source, sink=sink)
+
+
+def _two_hop_paths(
+    graph: TransferGraph, source: PeerId, sink: PeerId
+) -> Tuple[float, Tuple[FlowPath, ...]]:
+    """The recording twin of the closed form: ``(value, paths)``.
+
+    Mirrors the scalar kernel's branch choice and accumulation order
+    exactly, so the recorded value is bit-identical to the flag-off call
+    (floating-point addition order matters).  Shared by the scalar and
+    batch kernels; callers maintain the invocation counters.
+    """
+    out_s = graph.successors(source)
+    in_t = graph.predecessors(sink)
+    paths: List[FlowPath] = []
+    c_st = out_s.get(sink, 0.0)
+    total = c_st
+    if c_st:
+        # The direct edge always routes its full capacity.
+        paths.append(
+            FlowPath(
+                nodes=(source, sink),
+                flow=c_st,
+                bottleneck=(source, sink),
+                residuals=(0.0,),
+            )
+        )
+    if len(out_s) <= len(in_t):
+        for v, c_sv in out_s.items():
+            if v == sink:
+                continue
+            c_vt = in_t.get(v)
+            if c_vt:
+                f = min(c_sv, c_vt)
+                total += f
+                paths.append(
+                    FlowPath(
+                        nodes=(source, v, sink),
+                        flow=f,
+                        bottleneck=(source, v) if c_sv <= c_vt else (v, sink),
+                        residuals=(c_sv - f, c_vt - f),
+                    )
+                )
+    else:
+        for v, c_vt in in_t.items():
+            if v == source:
+                continue
+            c_sv = out_s.get(v)
+            if c_sv:
+                f = min(c_sv, c_vt)
+                total += f
+                paths.append(
+                    FlowPath(
+                        nodes=(source, v, sink),
+                        flow=f,
+                        bottleneck=(source, v) if c_sv <= c_vt else (v, sink),
+                        residuals=(c_sv - f, c_vt - f),
+                    )
+                )
+    return total, tuple(paths)

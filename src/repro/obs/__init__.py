@@ -14,6 +14,10 @@ so an uninstrumented run pays (and changes) nothing:
     Run manifests capturing config, seed, code revision, per-phase wall
     time, and the final metrics snapshot
     (:class:`~repro.obs.manifest.ManifestBuilder`).
+:mod:`repro.obs.provenance`
+    Claim-lineage recording for the subjective shared history
+    (:class:`~repro.obs.provenance.ProvenanceRecorder`), feeding
+    :mod:`repro.obs.explain` and the ``repro explain`` subcommand.
 
 An :class:`Observability` bundle threads both live legs through the
 simulator stack; :data:`NULL_OBS` is the shared disabled bundle every
@@ -43,6 +47,14 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NullMetricsRegistry,
     Timer,
+)
+from repro.obs.provenance import (
+    NULL_PROVENANCE,
+    ClaimLineage,
+    NullProvenanceRecorder,
+    ProvenanceRecorder,
+    provenance_totals_delta,
+    snapshot_provenance_totals,
 )
 from repro.obs.trace import (
     NULL_TRACER,
@@ -76,6 +88,12 @@ __all__ = [
     "read_manifest",
     "describe",
     "git_revision",
+    "ClaimLineage",
+    "ProvenanceRecorder",
+    "NullProvenanceRecorder",
+    "NULL_PROVENANCE",
+    "snapshot_provenance_totals",
+    "provenance_totals_delta",
 ]
 
 

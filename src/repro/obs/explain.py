@@ -1,0 +1,273 @@
+"""Explain a subjective reputation: flow decomposition + claim lineage.
+
+``R_i(j)`` is an arctan of ``maxflow(j, i) − maxflow(i, j)`` on *i*'s
+subjective graph.  This module decomposes the two flows into their
+augmenting paths (:func:`~repro.graph.maxflow.maxflow_two_hop` with
+``record_paths=True``), attaches the lineage of every gossip-learned
+claim backing a path edge (recorded by
+:class:`~repro.obs.provenance.ProvenanceRecorder` when the simulation
+ran with provenance on), and computes leave-one-out reputation deltas —
+what ``R_i(j)`` would be without each intermediary peer — from the
+recorded paths, with no re-solve.
+
+For the default ``two_hop`` kernel the decomposition and the
+leave-one-out deltas are exact (≤2-hop paths are edge-disjoint per
+intermediary; DESIGN.md §12).  For the iterative kernels the path set
+depends on augmentation order and the deltas are lower bounds; the
+rendered output says so.
+
+The module is deliberately decoupled from :mod:`repro.core`: it duck-
+types the node (``peer_id``, ``graph``, ``config.metric``, ``shared``),
+so importing it never drags the simulator stack in (and no import cycle
+with :mod:`repro.obs` can form).
+
+Entry points: :func:`explain_reputation` builds an :class:`Explanation`,
+:func:`render_explanation` renders it as text for the ``repro explain``
+subcommand, and :meth:`Explanation.to_json` backs ``--export``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Tuple
+
+from repro.graph.maxflow import FlowResult, leave_one_out_values
+from repro.obs.provenance import ClaimLineage, _json_safe
+
+__all__ = [
+    "EdgeEvidence",
+    "Explanation",
+    "explain_reputation",
+    "render_explanation",
+    "top_subjects",
+]
+
+PeerId = Hashable
+
+MB = 1024.0 * 1024.0
+
+
+@dataclass(frozen=True)
+class EdgeEvidence:
+    """Why the evaluator believes one directed edge of a flow path.
+
+    ``origin`` is ``"private"`` for edges incident to the evaluator
+    (authoritative, from its own transfer accounting — hop count 0) and
+    ``"gossip"`` for third-party edges, whose live claims' lineage is
+    listed in ``lineage`` (empty when the run recorded no provenance).
+    """
+
+    src: PeerId
+    dst: PeerId
+    value: float
+    origin: str
+    lineage: Tuple[ClaimLineage, ...] = ()
+
+    def to_json(self) -> dict:
+        return {
+            "src": _json_safe(self.src),
+            "dst": _json_safe(self.dst),
+            "value": self.value,
+            "origin": self.origin,
+            "lineage": [entry.to_json() for entry in self.lineage],
+        }
+
+
+@dataclass
+class Explanation:
+    """The full decomposition of one subjective reputation ``R_i(j)``."""
+
+    evaluator: PeerId
+    subject: PeerId
+    reputation: float
+    inflow: float
+    outflow: float
+    unit_bytes: float
+    kernel: str
+    exact: bool
+    in_result: FlowResult
+    out_result: FlowResult
+    #: ``{intermediary: R_i(j) recomputed without it}`` from recorded paths.
+    leave_one_out: Dict[PeerId, float]
+    #: Evidence for every distinct edge appearing on any recorded path.
+    evidence: List[EdgeEvidence]
+
+    def to_json(self) -> dict:
+        """JSON document for ``repro explain --export``."""
+        return {
+            "evaluator": _json_safe(self.evaluator),
+            "subject": _json_safe(self.subject),
+            "reputation": self.reputation,
+            "inflow_bytes": self.inflow,
+            "outflow_bytes": self.outflow,
+            "unit_bytes": self.unit_bytes,
+            "kernel": self.kernel,
+            "exact": self.exact,
+            "in_paths": [p.to_json() for p in self.in_result.paths],
+            "out_paths": [p.to_json() for p in self.out_result.paths],
+            "leave_one_out": {
+                str(_json_safe(v)): rep for v, rep in self.leave_one_out.items()
+            },
+            "evidence": [e.to_json() for e in self.evidence],
+        }
+
+
+def explain_reputation(node, subject: PeerId) -> Explanation:
+    """Decompose ``R_node(subject)`` on the node's subjective graph.
+
+    ``node`` is any object with ``peer_id``, ``graph``, ``shared`` and
+    ``config.metric`` (a :class:`~repro.core.node.BarterCastNode` in
+    practice).  Claim lineage is attached when the node's shared history
+    recorded provenance; the flow decomposition works either way.
+    """
+    me = node.peer_id
+    if subject == me:
+        raise ValueError("a peer has no reputation at itself")
+    metric = node.config.metric
+    in_result = metric.maxflow_result(node.graph, subject, me, record_paths=True)
+    out_result = metric.maxflow_result(node.graph, me, subject, record_paths=True)
+    inflow, outflow = in_result.value, out_result.value
+    reputation = metric.scale(inflow - outflow)
+
+    in_loo = leave_one_out_values(in_result)
+    out_loo = leave_one_out_values(out_result)
+    leave_one_out = {
+        v: metric.scale(in_loo.get(v, inflow) - out_loo.get(v, outflow))
+        for v in sorted(set(in_loo) | set(out_loo), key=repr)
+    }
+
+    evidence: List[EdgeEvidence] = []
+    seen_edges = set()
+    for result in (in_result, out_result):
+        for path in result.paths:
+            for edge in zip(path.nodes, path.nodes[1:]):
+                if edge in seen_edges:
+                    continue
+                seen_edges.add(edge)
+                src, dst = edge
+                if src == me or dst == me:
+                    evidence.append(
+                        EdgeEvidence(
+                            src=src,
+                            dst=dst,
+                            value=node.graph.capacity(src, dst),
+                            origin="private",
+                        )
+                    )
+                else:
+                    lineage = node.shared.lineage_of(src, dst)
+                    evidence.append(
+                        EdgeEvidence(
+                            src=src,
+                            dst=dst,
+                            value=node.graph.capacity(src, dst),
+                            origin="gossip",
+                            lineage=tuple(
+                                lineage[r] for r in sorted(lineage, key=repr)
+                            ),
+                        )
+                    )
+    return Explanation(
+        evaluator=me,
+        subject=subject,
+        reputation=reputation,
+        inflow=inflow,
+        outflow=outflow,
+        unit_bytes=metric.unit_bytes,
+        kernel=metric.kernel,
+        exact=metric.kernel == "two_hop",
+        in_result=in_result,
+        out_result=out_result,
+        leave_one_out=leave_one_out,
+        evidence=evidence,
+    )
+
+
+def top_subjects(node, candidates, k: int) -> List[PeerId]:
+    """The ``k`` candidates with the largest ``|R_node(j)|``.
+
+    Deterministic: ties break on peer-id representation.  Used by the
+    CLI when ``--subject`` is omitted.
+    """
+    reps = node.reputations_of(candidates)
+    scored = sorted(reps.items(), key=lambda it: (-abs(it[1]), repr(it[0])))
+    return [j for j, _ in scored[: max(0, k)]]
+
+
+# ----------------------------------------------------------------------
+# Text rendering
+# ----------------------------------------------------------------------
+def _mb(nbytes: float) -> str:
+    return f"{nbytes / MB:.1f} MB"
+
+
+def _path_line(path) -> str:
+    route = " -> ".join(str(n) for n in path.nodes)
+    if len(path.nodes) == 2:
+        via = "direct"
+    else:
+        via = "via " + ", ".join(str(v) for v in path.nodes[1:-1])
+    b_src, b_dst = path.bottleneck
+    residual = ", ".join(_mb(r) for r in path.residuals)
+    return (
+        f"  {route:<24} {via:<12} {_mb(path.flow):>12}"
+        f"   bottleneck {b_src}->{b_dst}, residuals [{residual}]"
+    )
+
+
+def _lineage_line(entry: ClaimLineage) -> str:
+    msg = entry.msg_id
+    if isinstance(msg, tuple) and len(msg) == 2:
+        msg = f"{msg[0]}#{msg[1]}"
+    return (
+        f"      claim by {entry.reporter}: {_mb(entry.value)} "
+        f"(msg {msg}, reported t={entry.reported_at:.0f}s, "
+        f"received t={entry.received_at:.0f}s, hop {entry.hops}, "
+        f"superseded {entry.superseded})"
+    )
+
+
+def render_explanation(expl: Explanation) -> str:
+    """Human-readable rendering for the ``repro explain`` subcommand."""
+    lines: List[str] = []
+    i, j = expl.evaluator, expl.subject
+    lines.append(f"== R_{i}({j}): {expl.reputation:+.4f} ==")
+    lines.append(
+        f"kernel {expl.kernel} | unit {_mb(expl.unit_bytes)} | "
+        f"inflow {_mb(expl.inflow)} | outflow {_mb(expl.outflow)} | "
+        f"diff {_mb(expl.inflow - expl.outflow)}"
+    )
+    lines.append("")
+    for label, result in (
+        (f"inflow maxflow({j} -> {i})", expl.in_result),
+        (f"outflow maxflow({i} -> {j})", expl.out_result),
+    ):
+        lines.append(f"{label} = {_mb(result.value)} over {len(result.paths)} path(s):")
+        if not result.paths:
+            lines.append("  (no flow)")
+        for path in result.paths:
+            lines.append(_path_line(path))
+        lines.append("")
+    if expl.leave_one_out:
+        tag = "exact" if expl.exact else "lower bound (non-2-hop kernel)"
+        lines.append(f"leave-one-out deltas from recorded paths ({tag}):")
+        for v, rep in expl.leave_one_out.items():
+            delta = rep - expl.reputation
+            lines.append(
+                f"  without {v}: R = {rep:+.4f} (delta {delta:+.4f})"
+            )
+        lines.append("")
+    lines.append("edge evidence:")
+    any_lineage = False
+    for ev in expl.evidence:
+        lines.append(
+            f"  edge {ev.src}->{ev.dst} = {_mb(ev.value)} [{ev.origin}]"
+        )
+        for entry in ev.lineage:
+            any_lineage = True
+            lines.append(_lineage_line(entry))
+    if not any_lineage and any(ev.origin == "gossip" for ev in expl.evidence):
+        lines.append(
+            "  (no claim lineage recorded — run the scenario with --provenance)"
+        )
+    return "\n".join(lines)

@@ -118,6 +118,9 @@ class ManifestBuilder:
         #: Accumulated wall seconds per phase, in first-seen order.
         self.phases: Dict[str, float] = {}
         self.extra: Dict[str, object] = {}
+        #: Fault-injection knobs of the run; ``None`` (the default) omits
+        #: the section entirely, so fault-free manifests are unchanged.
+        self.faults = None
 
     # ------------------------------------------------------------------
     @contextmanager
@@ -134,6 +137,13 @@ class ManifestBuilder:
     def note(self, key: str, value) -> None:
         """Attach an arbitrary JSON-safe fact to the manifest."""
         self.extra[key] = describe(value)
+
+    def set_faults(self, faults) -> None:
+        """Record the run's fault-injection knobs (``--loss/--dup/--delay/
+        --churn`` or a sweep spec).  Pass ``None`` — or never call — for a
+        fault-free run: the manifest then carries no ``faults`` section,
+        keeping it byte-compatible with pre-fault-layer manifests."""
+        self.faults = describe(faults) if faults is not None else None
 
     # ------------------------------------------------------------------
     def build(self, metrics=None, tracer=None) -> dict:
@@ -173,6 +183,8 @@ class ManifestBuilder:
                 else None
             ),
         }
+        if self.faults is not None:
+            doc["faults"] = self.faults
         if self.extra:
             doc["extra"] = dict(self.extra)
         return doc

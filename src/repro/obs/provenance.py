@@ -1,0 +1,267 @@
+"""Reputation provenance: where every subjective claim came from.
+
+BarterCast reputations are *subjective*: ``R_i(j)`` depends on which
+gossip messages reached *i*, from whom, and when.  The rest of the obs
+stack can say *what* the score is (metrics) and *when* things happened
+(traces); this module records *why a claim holds*: for every live claim
+in a :class:`~repro.core.sharedhistory.SubjectiveSharedHistory`, a
+compact lineage tuple
+
+``(reporter, msg_id, value, reported_at, received_at, hops, superseded)``
+
+* ``reporter`` — the peer whose message carried the claim;
+* ``msg_id`` — the gossip message that delivered the live value (a
+  per-sender sequence number stamped by
+  :meth:`~repro.core.node.BarterCastNode.create_message` when provenance
+  is on; falls back to ``(sender, created_at)`` for foreign messages);
+* ``value`` — the claimed byte total (replaying the live lineage of an
+  edge — max over reporters — reconstructs the materialized capacity
+  exactly; pinned by ``tests/test_provenance.py``);
+* ``reported_at`` — the message creation time (supersede key);
+* ``received_at`` — the simulated delivery time (differs from
+  ``reported_at`` under the :mod:`repro.faults` delay channel);
+* ``hops`` — gossip distance of the information: BarterCast never
+  forwards messages, so every gossiped claim is firsthand (``hops=1``);
+  owner-incident edges come from private history (``hops=0``) and are
+  synthesized at explain time, never stored here;
+* ``superseded`` — how many earlier claims by the same reporter about
+  the same edge this entry replaced (a freshness/stability signal).
+
+Lineage is maintained through every mutation path of the store: newer
+messages supersede (``superseded`` increments), equal-timestamp
+redeliveries are ignored exactly like the value tie-break ignores them
+(the view — and its lineage — stays independent of arrival order),
+stale copies are dropped, and ``forget_reporter`` churn wipes remove
+the lineage together with the claims.
+
+Null-object discipline (PR 2): provenance is **off by default**.  The
+shared :data:`NULL_PROVENANCE` recorder answers ``enabled = False`` and
+every hot path guards on a cached boolean, so a provenance-off run
+executes no recording code and is byte-identical to the seed behaviour
+(pinned by ``tests/test_provenance.py``); the overhead of provenance-on
+is measured by ``benchmarks/bench_reputation_cache.py``.
+
+Like the maxflow kernel counters, the module keeps process-wide totals
+(:data:`PROVENANCE_TOTALS`) so the CLI can report lineage activity of a
+whole run without threading recorder handles out of every experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Mapping
+
+__all__ = [
+    "ClaimLineage",
+    "ProvenanceRecorder",
+    "NullProvenanceRecorder",
+    "NULL_PROVENANCE",
+    "PROVENANCE_TOTALS",
+    "snapshot_provenance_totals",
+    "provenance_totals_delta",
+]
+
+PeerId = Hashable
+
+#: Process-wide lineage-event totals (mirrors the ``KERNEL_INVOCATIONS``
+#: pattern of :mod:`repro.graph.maxflow`): every live recorder folds its
+#: events in here so the CLI can attribute lineage activity to one run
+#: via snapshot/delta without holding recorder references.
+PROVENANCE_TOTALS: Dict[str, int] = {
+    "claims_recorded": 0,
+    "claims_superseded": 0,
+    "redeliveries_ignored": 0,
+    "stale_dropped": 0,
+    "claims_forgotten": 0,
+}
+
+
+def snapshot_provenance_totals() -> Dict[str, int]:
+    """A copy of the cumulative totals, for later deltas."""
+    return dict(PROVENANCE_TOTALS)
+
+
+def provenance_totals_delta(baseline: Mapping[str, int]) -> Dict[str, int]:
+    """Per-event counts since ``baseline``; only non-zero deltas."""
+    return {
+        key: count - baseline.get(key, 0)
+        for key, count in PROVENANCE_TOTALS.items()
+        if count - baseline.get(key, 0)
+    }
+
+
+@dataclass(frozen=True)
+class ClaimLineage:
+    """Provenance of one live claim (see module docstring for fields)."""
+
+    reporter: PeerId
+    msg_id: Hashable
+    value: float
+    reported_at: float
+    received_at: float
+    hops: int = 1
+    superseded: int = 0
+
+    def to_json(self) -> dict:
+        """JSON-safe rendering (peer ids / msg ids stringified as needed)."""
+        return {
+            "reporter": _json_safe(self.reporter),
+            "msg_id": _json_safe(self.msg_id),
+            "value": self.value,
+            "reported_at": self.reported_at,
+            "received_at": self.received_at,
+            "hops": self.hops,
+            "superseded": self.superseded,
+        }
+
+
+def _json_safe(value):
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return repr(value)
+
+
+class ProvenanceRecorder:
+    """Counts lineage events and publishes them to the obs stack.
+
+    One recorder is shared by every node of a simulation (lineage itself
+    is stored per-claim inside each node's shared history; the recorder
+    is the aggregation/emission point).  When the obs bundle has live
+    metrics the recorder maintains ``prov.*`` counters; when tracing is
+    live it emits sampled ``prov.claim`` events.  Neither leg is
+    required — a bare ``ProvenanceRecorder()`` still counts locally and
+    into :data:`PROVENANCE_TOTALS`.
+    """
+
+    enabled = True
+
+    def __init__(self, obs=None) -> None:
+        from repro.obs import NULL_OBS
+
+        obs = obs if obs is not None else NULL_OBS
+        self.claims_recorded = 0
+        self.claims_superseded = 0
+        self.redeliveries_ignored = 0
+        self.stale_dropped = 0
+        self.claims_forgotten = 0
+        metrics = obs.metrics
+        if metrics.enabled:
+            self._m_recorded = metrics.counter("prov.claims_recorded")
+            self._m_superseded = metrics.counter("prov.claims_superseded")
+            self._m_redelivered = metrics.counter("prov.redeliveries_ignored")
+            self._m_stale = metrics.counter("prov.stale_dropped")
+            self._m_forgotten = metrics.counter("prov.claims_forgotten")
+        else:
+            self._m_recorded = None
+            self._m_superseded = None
+            self._m_redelivered = None
+            self._m_stale = None
+            self._m_forgotten = None
+        tracer = obs.tracer
+        self._tr_claim = tracer.category("prov.claim") if tracer.enabled else None
+
+    # ------------------------------------------------------------------
+    def record_claim(
+        self, owner: PeerId, edge, reporter: PeerId, lineage, superseded: bool
+    ) -> None:
+        """A claim was applied (``superseded``: it replaced an older one).
+
+        ``lineage`` is the raw ``(msg_id, received_at, superseded_count)``
+        tuple the shared history stores on the claim — this method rides
+        the gossip hot path, so it takes the cheap representation rather
+        than a materialized :class:`ClaimLineage`.
+        """
+        self.claims_recorded += 1
+        PROVENANCE_TOTALS["claims_recorded"] += 1
+        if superseded:
+            self.claims_superseded += 1
+            PROVENANCE_TOTALS["claims_superseded"] += 1
+        if self._m_recorded is not None:
+            self._m_recorded.inc()
+            if superseded:
+                self._m_superseded.inc()
+        cat = self._tr_claim
+        if cat is not None and cat.sample():
+            cat.emit_sampled(
+                "supersede" if superseded else "record",
+                sim_time=lineage[1],
+                attrs={
+                    "owner": owner,
+                    "edge": list(edge),
+                    "reporter": reporter,
+                    "msg_id": _json_safe(lineage[0]),
+                    "superseded": lineage[2],
+                },
+            )
+
+    def record_redelivery(self, owner: PeerId, edge, reporter: PeerId) -> None:
+        """An equal-timestamp redelivered copy was (correctly) ignored."""
+        self.redeliveries_ignored += 1
+        PROVENANCE_TOTALS["redeliveries_ignored"] += 1
+        if self._m_redelivered is not None:
+            self._m_redelivered.inc()
+
+    def record_stale(self, owner: PeerId, edge, reporter: PeerId) -> None:
+        """An out-of-order older copy was dropped."""
+        self.stale_dropped += 1
+        PROVENANCE_TOTALS["stale_dropped"] += 1
+        if self._m_stale is not None:
+            self._m_stale.inc()
+
+    def record_forget(self, owner: PeerId, reporter: PeerId, removed: int) -> None:
+        """``removed`` claims by ``reporter`` were wiped (churn path)."""
+        if removed <= 0:
+            return
+        self.claims_forgotten += removed
+        PROVENANCE_TOTALS["claims_forgotten"] += removed
+        if self._m_forgotten is not None:
+            self._m_forgotten.inc(removed)
+
+    # ------------------------------------------------------------------
+    def summary(self) -> Dict[str, int]:
+        """The lineage-event totals of this recorder (manifest section)."""
+        return {
+            "claims_recorded": self.claims_recorded,
+            "claims_superseded": self.claims_superseded,
+            "redeliveries_ignored": self.redeliveries_ignored,
+            "stale_dropped": self.stale_dropped,
+            "claims_forgotten": self.claims_forgotten,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ProvenanceRecorder recorded={self.claims_recorded} "
+            f"superseded={self.claims_superseded}>"
+        )
+
+
+class NullProvenanceRecorder(ProvenanceRecorder):
+    """The disabled recorder: every operation is a no-op."""
+
+    enabled = False
+
+    def __init__(self) -> None:  # pylint: disable=super-init-not-called
+        self.claims_recorded = 0
+        self.claims_superseded = 0
+        self.redeliveries_ignored = 0
+        self.stale_dropped = 0
+        self.claims_forgotten = 0
+
+    def record_claim(self, owner, edge, reporter, lineage, superseded) -> None:
+        pass
+
+    def record_redelivery(self, owner, edge, reporter) -> None:
+        pass
+
+    def record_stale(self, owner, edge, reporter) -> None:
+        pass
+
+    def record_forget(self, owner, reporter, removed) -> None:
+        pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<NullProvenanceRecorder>"
+
+
+#: Shared disabled recorder — the default everywhere.
+NULL_PROVENANCE = NullProvenanceRecorder()

@@ -3,8 +3,9 @@
 ``render_report`` turns a :class:`~repro.obs.metrics.MetricsRegistry`
 snapshot into the terminal summary the CLI prints under ``--metrics``:
 the top timers by total wall time, message/transfer counters by name,
-derived rates (reputation-cache hit rate, events per second), and the
-maxflow kernel invocation counts.
+a network section for the fault channel's delivery telemetry (hidden
+when the run had no channel faults), derived rates (reputation-cache
+hit rate, events per second), and the maxflow kernel invocation counts.
 """
 
 from __future__ import annotations
@@ -83,6 +84,25 @@ def render_report(
                 "{}",
             )
         )
+
+    net_rows = [
+        (label, registry.value(f"net.{label}"))
+        for label in ("delivered", "dropped", "duplicated", "delayed")
+    ]
+    if any(value for _, value in net_rows):
+        lines.append("-- network (fault channel) --")
+        lines.append(
+            render_table(
+                ["outcome", "messages"],
+                [(label, f"{value:,.0f}") for label, value in net_rows],
+                "{}",
+            )
+        )
+        delivered = net_rows[0][1]
+        dropped = net_rows[1][1]
+        offered = delivered + dropped
+        if offered:
+            lines.append(f"delivery rate: {delivered / offered:.1%} of offered gossip")
 
     derived: List[str] = []
     hits = registry.value("rep.cache.hits")

@@ -161,7 +161,10 @@ def _exec_fault_point(task: SweepTask, obs: Observability) -> Any:
     from repro.experiments.faults import run_fault_point
 
     p = task.params
-    return run_fault_point(p["scenario"], p["faults"], delta=p["delta"], obs=obs)
+    return run_fault_point(
+        p["scenario"], p["faults"], delta=p["delta"],
+        top_k=p.get("top_k", 0), obs=obs,
+    )
 
 
 @register_executor("whitewash")

@@ -277,6 +277,20 @@ class TestManifest:
         assert p2.name == "custom.json"
         assert read_manifest(p2)["command"] == "fig2"
 
+    def test_faults_section_present_only_when_set(self, tmp_path):
+        from repro.faults import FaultConfig
+
+        plain = ManifestBuilder("fig1")
+        assert "faults" not in read_manifest(plain.write(tmp_path / "plain"))
+
+        faulty = ManifestBuilder("fig1")
+        faulty.set_faults(FaultConfig(loss=0.2, churn_rate=1.5, delay_max=30.0))
+        doc = read_manifest(faulty.write(tmp_path / "faulty"))
+        assert doc["faults"]["loss"] == 0.2
+        assert doc["faults"]["churn_rate"] == 1.5
+        assert doc["faults"]["delay_max"] == 30.0
+        assert doc["faults"]["duplicate"] == 0.0
+
     def test_read_manifest_rejects_bad_schema(self, tmp_path):
         path = tmp_path / "bad.json"
         path.write_text('{"schema": "nope"}')
