@@ -5,13 +5,13 @@ the perf trajectory, but nothing made CI *fail* when a change quietly
 slowed the hot path down.  This script closes that gap:
 
 * **reputation engine** — rerun the cache bench at smoke scale and
-  compare the dirty+batch *speedup ratio* (dirty_batch vs the
-  wholesale_scalar baseline, same host, same scale) against the
+  compare the dirty+batch and columnar *speedup ratios* (each variant vs
+  the wholesale_scalar baseline, same host, same scale) against the
   artifact's ``smoke_reference`` section.  Ratios cancel host speed, so
   a CI runner can be compared against the reference machine; a fresh
   ratio more than ``--threshold`` (default 30 %) below the committed one
-  means the incremental dirty+batch path itself regressed, and the
-  script exits non-zero.
+  means that engine path itself regressed, and the script exits
+  non-zero.
 * **parallel sweep** — rerun the sweep pool at smoke scale with
   ``--jobs 2`` and compare the jobs_2 speedup against the committed
   ``BENCH_parallel.json``.  The committed artifact may come from a
@@ -70,6 +70,25 @@ def check_reputation(threshold: float) -> bool:
         f"vs committed {committed_ratio:.2f}x (floor {floor:.2f}x) -> "
         f"{'ok' if ok else 'REGRESSION'}"
     )
+    # Columnar-vs-scalar smoke gate: same ratio discipline for the
+    # columnar backend.  Graceful on artifacts from before the backend
+    # landed (no committed ratio -> nothing to compare against).
+    committed_columnar = reference.get("speedup_columnar_batch")
+    if committed_columnar is not None:
+        fresh_columnar = fresh["speedup_columnar_batch"]
+        col_floor = committed_columnar * (1.0 - threshold)
+        col_ok = fresh_columnar >= col_floor
+        print(
+            f"[bench-gate] reputation columnar speedup: fresh "
+            f"{fresh_columnar:.2f}x vs committed {committed_columnar:.2f}x "
+            f"(floor {col_floor:.2f}x) -> {'ok' if col_ok else 'REGRESSION'}"
+        )
+        ok = ok and col_ok
+    else:
+        print(
+            "[bench-gate] no committed columnar smoke ratio yet; "
+            "columnar gate unarmed"
+        )
     return ok
 
 

@@ -20,9 +20,19 @@ Plus the batched form (:mod:`repro.graph.batch`):
   maxflows between one owner and many candidates in a single pass, with
   the owner's neighbourhood lookups hoisted out of the per-target loop;
   bit-identical to per-target ``maxflow_two_hop`` calls.
+
+Two interchangeable graph backends:
+
+* :class:`~repro.graph.transfer_graph.TransferGraph` — dict-of-dicts, the
+  reference oracle every property test compares against;
+* :class:`~repro.graph.columnar.ColumnarTransferGraph` — flat columnar
+  edge-slot log with numpy CSR materialization and a vectorized batch
+  kernel, bit-identical to the oracle and built for 100k-peer scale.
 """
 
 from repro.graph.transfer_graph import TransferGraph
+from repro.graph.columnar import ColumnarTransferGraph, two_hop_batch_arrays
+from repro.graph.interner import PeerInterner
 from repro.graph.batch import maxflow_two_hop_batch
 from repro.graph.maxflow import (
     FlowPath,
@@ -40,6 +50,9 @@ from repro.graph.maxflow import (
 
 __all__ = [
     "TransferGraph",
+    "ColumnarTransferGraph",
+    "PeerInterner",
+    "two_hop_batch_arrays",
     "FlowPath",
     "FlowResult",
     "ford_fulkerson",

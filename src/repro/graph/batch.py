@@ -17,17 +17,30 @@ order (insertion order of the underlying adjacency dicts) — so a batched
 reputation equals the scalar one *bitwise*, not just approximately.  The
 property tests in ``tests/test_reputation_cache.py`` pin this.
 
-Why no numpy here: the neighbourhoods involved are bounded by the gossip
-message size (``Nh + Nr`` records), so typical degrees are tens, and the
-cost of packing dicts into arrays per batch exceeds the arithmetic saved.
-The win at this scale comes from hoisting and from skipping per-query
-object construction, not from SIMD.
+Columnar dispatch: when the graph is a :class:`~repro.graph.columnar
+.ColumnarTransferGraph`, large batches are routed to the vectorized array
+kernel (:func:`~repro.graph.columnar.two_hop_batch_arrays`), which is
+bit-identical by construction (same branch choices, same summation order —
+see that module's docstring).  Small batches — a handful of cache misses
+per choke round — go to the row-direct loop
+(:func:`~repro.graph.columnar.two_hop_batch_rows`) instead: the array
+kernel's fixed numpy overhead dominates at that size, and skipping it also
+avoids rebuilding a structurally-stale CSR for a few lookups.  The generic
+dict loop below still runs unmodified on either backend (the columnar
+graph's ``successors``/``predecessors`` return snapshot dicts in the same
+iteration order); it remains the oracle the columnar twins are pinned to.
 """
 
 from __future__ import annotations
 
 from typing import Dict, Hashable, Iterable, Tuple
 
+from repro.graph.columnar import (
+    ARRAY_MIN_TARGETS,
+    ColumnarTransferGraph,
+    two_hop_batch_arrays,
+    two_hop_batch_rows,
+)
 from repro.graph.maxflow import KERNEL_INVOCATIONS, _two_hop_paths
 from repro.graph.transfer_graph import TransferGraph
 
@@ -37,6 +50,8 @@ PeerId = Hashable
 
 KERNEL_INVOCATIONS.setdefault("maxflow_two_hop_batch", 0)
 KERNEL_INVOCATIONS.setdefault("maxflow_two_hop_batch_targets", 0)
+KERNEL_INVOCATIONS.setdefault("maxflow_two_hop_batch_columnar", 0)
+KERNEL_INVOCATIONS.setdefault("maxflow_two_hop_batch_rows", 0)
 
 
 def maxflow_two_hop_batch(
@@ -92,6 +107,25 @@ def maxflow_two_hop_batch(
             inflow, in_paths = _two_hop_paths(graph, j, owner)
             outflow, out_paths = _two_hop_paths(graph, owner, j)
             results[j] = (inflow, outflow, in_paths, out_paths)
+        KERNEL_INVOCATIONS["maxflow_two_hop_batch_targets"] += len(results)
+        return results
+
+    if isinstance(graph, ColumnarTransferGraph):
+        uniq = [j for j in dict.fromkeys(targets) if j != owner]
+        # A stale CSR costs O(E) to rebuild while the dict-view loop costs
+        # O(degree) per target, so rebuilding only pays off when the batch
+        # is a sizable fraction of the edge count.  A fresh CSR is free to
+        # reuse — bulk-loaded graphs and repeated cold sweeps take this
+        # branch (see ColumnarTransferGraph.build_csr).
+        if graph.csr_fresh or (
+            len(uniq) >= ARRAY_MIN_TARGETS
+            and len(uniq) * 128 >= graph.num_edges
+        ):
+            KERNEL_INVOCATIONS["maxflow_two_hop_batch_columnar"] += 1
+            results = two_hop_batch_arrays(graph, owner, uniq)
+        else:
+            KERNEL_INVOCATIONS["maxflow_two_hop_batch_rows"] += 1
+            results = two_hop_batch_rows(graph, owner, uniq)
         KERNEL_INVOCATIONS["maxflow_two_hop_batch_targets"] += len(results)
         return results
 

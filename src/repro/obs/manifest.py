@@ -19,6 +19,7 @@ divergence in the series.
 from __future__ import annotations
 
 import dataclasses
+import importlib
 import json
 import platform
 import subprocess
@@ -33,6 +34,7 @@ from repro import __version__
 __all__ = [
     "MANIFEST_SCHEMA",
     "ManifestBuilder",
+    "dependency_versions",
     "describe",
     "git_revision",
     "read_manifest",
@@ -65,6 +67,20 @@ def describe(obj):
     if isinstance(obj, (list, tuple, set, frozenset)):
         return [describe(v) for v in obj]
     return repr(obj)
+
+
+def dependency_versions() -> dict:
+    """Versions of the numeric dependencies that can change results or
+    performance (the columnar backend leans on numpy); ``None`` for
+    packages absent from the environment."""
+    versions = {}
+    for name in ("numpy", "scipy", "networkx"):
+        try:
+            module = importlib.import_module(name)
+            versions[name] = getattr(module, "__version__", None)
+        except ImportError:
+            versions[name] = None
+    return versions
 
 
 def git_revision(cwd: Optional[Union[str, Path]] = None) -> Optional[str]:
@@ -162,6 +178,7 @@ class ManifestBuilder:
             "package_version": __version__,
             "python": sys.version.split()[0],
             "platform": platform.platform(),
+            "dependencies": dependency_versions(),
             "git_rev": git_revision(Path(__file__).resolve().parent),
             "started_unix": self.started_unix,
             "wall_seconds_total": time.perf_counter() - self._t0,

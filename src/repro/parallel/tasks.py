@@ -179,7 +179,11 @@ def _exec_scalability(task: SweepTask, obs: Observability) -> Any:
     from repro.experiments.scalability import run_scalability
 
     p = task.params
-    return run_scalability(sizes=tuple(p["sizes"]), seed=task.seed)
+    return run_scalability(
+        sizes=tuple(p["sizes"]),
+        seed=task.seed,
+        backend=p.get("backend", "dict"),
+    )
 
 
 # -- test/bench fixtures (cheap, deterministic, crash/hang injectable) --
@@ -287,12 +291,14 @@ def whitewash_tasks(seed: int, kinds=("trusted", "static", "adaptive")):
     ]
 
 
-def scalability_task(sizes, seed: int) -> SweepTask:
+def scalability_task(sizes, seed: int, backend: str = "dict") -> SweepTask:
     """The scalability assessment as one task (its sizes grow one view
-    incrementally, so the experiment is internally sequential)."""
+    incrementally, so the experiment is internally sequential).  ``backend``
+    picks the subjective-graph storage; results are bit-identical across
+    backends, so it only changes the measured costs."""
     return SweepTask(
         task_id="scalability",
         experiment="scalability",
-        params={"sizes": tuple(int(s) for s in sizes)},
+        params={"sizes": tuple(int(s) for s in sizes), "backend": backend},
         seed=int(seed),
     )

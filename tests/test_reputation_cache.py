@@ -342,5 +342,6 @@ def test_reputation_cache_bench_smoke(tmp_path):
         "wholesale_batch",
         "dirty_scalar",
         "dirty_batch",
+        "columnar_batch",
     }
     assert all(v["seconds"] > 0 for v in payload["variants"].values())
