@@ -291,6 +291,62 @@ def run_obs_overhead(cfg: WorkloadConfig, workload=None) -> dict:
     }
 
 
+def run_telemetry_overhead(repeats: int = 3) -> dict:
+    """Sim-level cost of the time-dimension telemetry (timeseries + profiler).
+
+    The node-level workload above never builds a simulator, so it cannot
+    see the profiler's phase contexts or the timeseries sampling event;
+    this probe runs a whole tiny figure-1 simulation plain and with both
+    legs on.  Best-of-``repeats`` per mode cancels warmup, and both modes
+    must produce bit-identical figure series (the telemetry-off run is
+    already pinned byte-identical by ``tests/test_timeseries.py``).
+    """
+    from repro.experiments import ScenarioConfig, run_fig1
+    from repro.obs import make_observability
+    from repro.obs.profile import activate
+
+    scenario = ScenarioConfig.tiny(seed=7)
+
+    def fingerprint(result) -> tuple:
+        return (
+            tuple(result.sharer_reputation.tolist()),
+            tuple(result.freerider_reputation.tolist()),
+            result.spearman,
+        )
+
+    timings: Dict[str, float] = {}
+    reference = None
+    for mode in ("plain", "telemetry"):
+        best = float("inf")
+        for _ in range(repeats):
+            if mode == "telemetry":
+                obs = make_observability(profile=True, timeseries=-1.0)
+                t0 = time.perf_counter()
+                with activate(obs.profiler):
+                    result = run_fig1(scenario, obs=obs)
+                elapsed = time.perf_counter() - t0
+            else:
+                t0 = time.perf_counter()
+                result = run_fig1(scenario)
+                elapsed = time.perf_counter() - t0
+            best = min(best, elapsed)
+            if reference is None:
+                reference = fingerprint(result)
+            elif fingerprint(result) != reference:
+                raise AssertionError(
+                    f"telemetry mode {mode} changed the figure series"
+                )
+        timings[mode] = best
+    return {
+        "scenario": "fig1-tiny",
+        "seconds": timings,
+        "overhead_telemetry_pct": (
+            (timings["telemetry"] / timings["plain"] - 1.0) * 100.0
+        ),
+        "identical_results": True,
+    }
+
+
 def write_results(payload: dict, path: Path = RESULT_PATH) -> None:
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
@@ -321,6 +377,9 @@ def test_bench_reputation_cache(bench_smoke, tmp_path):
     cfg = SMOKE if bench_smoke else FULL
     payload = run_bench(cfg)
     payload["instrumentation"] = run_obs_overhead(cfg)
+    payload["telemetry"] = run_telemetry_overhead(
+        repeats=1 if bench_smoke else 3
+    )
     if not bench_smoke:
         payload["smoke_reference"] = smoke_reference()
     # Smoke numbers are meaningless as a perf record: never let a CI-sized
@@ -328,6 +387,7 @@ def test_bench_reputation_cache(bench_smoke, tmp_path):
     write_results(payload, tmp_path / "BENCH_reputation.json" if bench_smoke else RESULT_PATH)
     assert payload["identical_reputations"]
     assert payload["instrumentation"]["identical_reputations"]
+    assert payload["telemetry"]["identical_results"]
     for variant in payload["variants"].values():
         assert variant["seconds"] > 0
     if not bench_smoke:
@@ -352,6 +412,9 @@ def test_bench_reputation_cache(bench_smoke, tmp_path):
         # recording lineage is unchanged (provenance-on deliberately keeps
         # the layered ingest path).
         assert payload["instrumentation"]["overhead_provenance_pct"] < 60.0
+        # Time-dimension telemetry budget: timeseries sampling plus the
+        # phase/kernel profiler must stay within 10% of a plain run.
+        assert payload["telemetry"]["overhead_telemetry_pct"] < 10.0
 
 
 if __name__ == "__main__":  # pragma: no cover - manual entry point
@@ -363,6 +426,7 @@ if __name__ == "__main__":  # pragma: no cover - manual entry point
     cfg = SMOKE if args.smoke else FULL
     payload = run_bench(cfg)
     payload["instrumentation"] = run_obs_overhead(cfg)
+    payload["telemetry"] = run_telemetry_overhead(repeats=1 if args.smoke else 3)
     if not args.smoke:
         payload["smoke_reference"] = smoke_reference()
         write_results(payload)

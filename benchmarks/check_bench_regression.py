@@ -92,6 +92,28 @@ def check_reputation(threshold: float) -> bool:
     return ok
 
 
+def check_telemetry(budget: float = 0.10) -> bool:
+    """Fresh telemetry-overhead probe against the absolute budget.
+
+    Unlike the ratio gates this is not compared against the committed
+    artifact: the budget is a hard product guarantee (timeseries +
+    profiler on must cost <= ``budget`` over a plain run), so we measure
+    it directly.  Best-of-3 per mode; a measured overhead below the
+    budget passes even if the committed number differs.
+    """
+    from bench_reputation_cache import run_telemetry_overhead
+
+    fresh = run_telemetry_overhead(repeats=3)
+    overhead = fresh["overhead_telemetry_pct"]
+    ok = overhead <= budget * 100.0
+    print(
+        f"[bench-gate] telemetry overhead (timeseries+profile vs plain): "
+        f"{overhead:+.1f}% (budget {budget:.0%}) -> "
+        f"{'ok' if ok else 'REGRESSION'}"
+    )
+    return ok
+
+
 def check_parallel(threshold: float) -> bool:
     """Fresh smoke --jobs 2 speedup vs the committed parallel artifact."""
     from bench_parallel_sweep import run_bench as run_parallel_bench
@@ -136,6 +158,12 @@ def main(argv=None) -> int:
         action="store_true",
         help="check only the reputation engine (skip the sweep smoke run)",
     )
+    parser.add_argument(
+        "--telemetry-budget",
+        type=float,
+        default=0.10,
+        help="tolerated telemetry-on slowdown over a plain run (default 0.10)",
+    )
     args = parser.parse_args(argv)
 
     cores = os.cpu_count() or 1
@@ -148,6 +176,7 @@ def main(argv=None) -> int:
 
     sys.path.insert(0, str(Path(__file__).resolve().parent))
     ok = check_reputation(args.threshold)
+    ok = check_telemetry(args.telemetry_budget) and ok
     if not args.skip_parallel:
         ok = check_parallel(args.threshold) and ok
     if not ok:

@@ -148,6 +148,8 @@ class CommunitySimulator:
         self._tr_transfer = tracer.category("bt.transfer") if tracer.enabled else None
         self._tr_gossip = tracer.category("gossip.exchange") if tracer.enabled else None
         self._choker_obs = self.obs if self.obs.enabled else None
+        profiler = self.obs.profiler
+        self._profiler = profiler if profiler.enabled else None
         self._kernel_baseline = snapshot_kernel_invocations()
 
         # Provenance: one recorder shared by every node (lineage itself
@@ -246,6 +248,16 @@ class CommunitySimulator:
             label="sample",
         )
 
+        # Convergence time-series: a recorder with coverage/inversion/
+        # cache/net probes, sampling on its own periodic event (or riding
+        # the stats sampler).  Constructed only when the leg is enabled,
+        # so plain runs schedule nothing extra (byte-identity).
+        self.timeseries = None
+        self._ts_gossip: Optional[int] = None
+        self._ts_bytes: Optional[float] = None
+        if self.obs.timeseries.enabled:
+            self._setup_timeseries(self.obs.timeseries)
+
     # ------------------------------------------------------------------
     # Wiring
     # ------------------------------------------------------------------
@@ -324,6 +336,89 @@ class CommunitySimulator:
         for fn in self._samplers:
             fn(now)
 
+    def _setup_timeseries(self, collector) -> None:
+        """Create this run's convergence recorder and register probes.
+
+        Probes only *read* simulation state (the reputation probes query
+        through the normal cache path, so they warm it — affecting the
+        ``rep.cache.*`` telemetry counters but never a computed value or
+        an RNG stream).  The sampling event shifts engine sequence
+        numbers uniformly without reordering simulation events, so
+        results stay bit-identical (pinned by test).
+        """
+        from repro.obs.timeseries import TimeSeriesRecorder
+
+        cfg = collector.config
+        recorder = TimeSeriesRecorder(
+            label=collector.next_label(), capacity=cfg.capacity
+        )
+        self._ts_gt_cache: Optional[tuple] = None
+        recorder.add_probe("coverage", self._probe_coverage)
+        recorder.add_probe("rank_inversion_rate", self._probe_inversion)
+        recorder.add_probe("cache_hit_rate", self._probe_cache_hit_rate)
+        recorder.add_probe("net_delivered", lambda now: float(self.channel.delivered) if self.channel else 0.0)
+        recorder.add_probe("net_dropped", lambda now: float(self.channel.dropped) if self.channel else 0.0)
+        if self.obs.metrics.enabled:
+            # Per-run shadow accumulators, not the registry counters: in
+            # the inline (jobs<=1) sweep path every task shares the parent
+            # registry, so raw counter values would make each task's
+            # series start at the previous tasks' totals, and subtracting
+            # a float baseline is not bitwise equal to a worker's
+            # fresh-registry accumulation.  The shadows repeat the same
+            # from-zero add sequence a worker counter performs, so serial
+            # and parallel series are byte-identical.
+            self._ts_gossip = 0
+            self._ts_bytes = 0.0
+            recorder.add_probe(
+                "gossip_exchanges", lambda now: float(self._ts_gossip)
+            )
+            recorder.add_probe("bt_bytes", lambda now: self._ts_bytes)
+        collector.attach(recorder)
+        self.timeseries = recorder
+        if cfg.interval_s is None:
+            # Ride the stats sampler: one row per figure sample.
+            self.add_sampler(recorder.sample)
+        else:
+            self._timeseries_proc = PeriodicProcess(
+                self.engine,
+                cfg.interval_s,
+                lambda: recorder.sample(self.engine.now),
+                start_delay=cfg.interval_s,
+                label="timeseries",
+            )
+
+    def _ts_ground_truth(self, now: float) -> tuple:
+        """Ground truth (edges, contribution) memoized per sample time —
+        the coverage and inversion probes share one recomputation."""
+        cached = self._ts_gt_cache
+        if cached is not None and cached[0] == now:
+            return cached[1]
+        from repro.experiments.faults import _ground_truth
+
+        gt = _ground_truth(self)
+        self._ts_gt_cache = (now, gt)
+        return gt
+
+    def _probe_coverage(self, now: float) -> float:
+        from repro.experiments.faults import _coverage
+
+        gt_edges, _ = self._ts_ground_truth(now)
+        return _coverage(self, gt_edges)
+
+    def _probe_inversion(self, now: float) -> float:
+        from repro.experiments.faults import DEFAULT_DELTA, _reputation_measures
+
+        _, contribution = self._ts_ground_truth(now)
+        _, inversion = _reputation_measures(self, contribution, DEFAULT_DELTA)
+        return inversion
+
+    def _probe_cache_hit_rate(self, now: float) -> float:
+        nodes = self.nodes.values()
+        hits = sum(n.rep_cache_hits for n in nodes)
+        misses = sum(n.rep_cache_misses for n in nodes)
+        total = hits + misses
+        return hits / total if total else 0.0
+
     def system_reputation_snapshot(
         self, subjects: Optional[List[int]] = None
     ) -> Dict[int, float]:
@@ -346,11 +441,16 @@ class CommunitySimulator:
     # The main round
     # ------------------------------------------------------------------
     def _round(self) -> None:
-        if self._t_round is None and self._tr_round is None:
+        prof = self._profiler
+        if self._t_round is None and self._tr_round is None and prof is None:
             self._round_body()
             return
         t0 = _time.perf_counter()
-        self._round_body()
+        if prof is not None:
+            with prof.phase("bt.round"):
+                self._round_body()
+        else:
+            self._round_body()
         duration = _time.perf_counter() - t0
         if self._t_round is not None:
             self._m_rounds.inc()
@@ -369,13 +469,17 @@ class CommunitySimulator:
         self.round_idx += 1
 
         self._expire_seeders(now)
-        if self._t_choke is not None:
-            with self._t_choke:
-                links = self._collect_links()
+        prof = self._profiler
+        if prof is not None:
+            with prof.phase("choke"):
+                links = self._collect_links_timed()
+            with prof.phase("transfer"):
+                transfers = self._allocate_bandwidth(links, dt)
+                completed = self._execute_transfers(transfers, now)
         else:
-            links = self._collect_links()
-        transfers = self._allocate_bandwidth(links, dt)
-        completed = self._execute_transfers(transfers, now)
+            links = self._collect_links_timed()
+            transfers = self._allocate_bandwidth(links, dt)
+            completed = self._execute_transfers(transfers, now)
         self._update_rates(transfers)
         self._account_leech_time(now, dt)
         self._handle_completions(completed)
@@ -393,6 +497,12 @@ class CommunitySimulator:
             ]
             for pid in expired:
                 self._leave(sid, pid)
+
+    def _collect_links_timed(self) -> List[Tuple[int, int, SwarmState]]:
+        if self._t_choke is not None:
+            with self._t_choke:
+                return self._collect_links()
+        return self._collect_links()
 
     def _collect_links(self) -> List[Tuple[int, int, SwarmState]]:
         links: List[Tuple[int, int, SwarmState]] = []
@@ -500,6 +610,8 @@ class CommunitySimulator:
         if self._m_transfers is not None:
             self._m_transfers.inc()
             self._m_bytes.inc(actual)
+        if self._ts_bytes is not None:
+            self._ts_bytes += actual
         if self._tr_transfer is not None and self._tr_transfer.sample():
             self._tr_transfer.emit_sampled(
                 "piece_transfer",
@@ -545,6 +657,14 @@ class CommunitySimulator:
     # Gossip
     # ------------------------------------------------------------------
     def _gossip_round(self) -> None:
+        prof = self._profiler
+        if prof is None:
+            self._gossip_round_body()
+        else:
+            with prof.phase("gossip"):
+                self._gossip_round_body()
+
+    def _gossip_round_body(self) -> None:
         now = self.engine.now
         for pid in self._gossip_rng.shuffled(sorted(self.online)):
             if not self.is_online(pid):
@@ -581,6 +701,8 @@ class CommunitySimulator:
             self._m_gossip.inc()
             if lost:
                 self._m_gossip_lost.inc(lost)
+        if self._ts_gossip is not None:
+            self._ts_gossip += 1
         if self._tr_gossip is not None and self._tr_gossip.sample():
             self._tr_gossip.emit_sampled(
                 "exchange", sim_time=now, attrs={"a": a, "b": b, "lost": lost}
@@ -627,6 +749,11 @@ class CommunitySimulator:
         return the statistics collector."""
         horizon = self.trace.duration if until is None else min(until, self.trace.duration)
         self.engine.run_until(horizon)
+        # Close the convergence series at the horizon so its final row
+        # equals the end-of-run aggregates (skipped when a periodic
+        # sample already landed exactly there).
+        if self.timeseries is not None and self.timeseries.last_time != horizon:
+            self.timeseries.sample(horizon)
         nodes = self.nodes.values()
         self.stats.record_cache_telemetry(
             sum(n.rep_cache_hits for n in nodes),

@@ -11,6 +11,9 @@ Usage::
     python -m repro.cli faults [--losses 0,0.1,0.25,0.5] [--churn R]
     python -m repro.cli explain --peer I [--subject J] [--profile ...]
     python -m repro.cli all  [--profile ...] [--fig4-peers N]
+    python -m repro.cli report PATH          # re-render a stored manifest
+    python -m repro.cli monitor [DIR]        # watch a running --jobs sweep
+    python -m repro.cli chrome-trace TRACE   # convert a JSONL trace for Perfetto
 
 Each subcommand regenerates one figure of the paper and prints the series
 as tables/ASCII charts (see :mod:`repro.experiments.report`).
@@ -52,6 +55,19 @@ Observability flags (available on every subcommand):
     ``all --jobs N`` pools every figure's tasks so workers stay busy
     across figure boundaries.  Tracing forces ``--jobs 1`` (one trace
     stream, one process).
+``--timeseries [SECONDS]``
+    Record a convergence time-series per simulation (reputation
+    coverage, rank-inversion rate, cache hit rate, ``net.*`` deltas) at
+    the given sim-time cadence; with no value, one row per stats
+    sample.  Exported as CSV + JSON beside the run manifest.
+``--prof``
+    Profile run phases and maxflow kernels (wall + CPU, per-invocation
+    histograms); prints a profile section and stores it in the
+    manifest.  Phase spans additionally land in
+    ``profile_chrome.json`` for Perfetto.
+``--monitor-dir DIR``
+    Spool directory for live ``--jobs`` sweep monitoring (see ``repro
+    monitor``); defaults to a per-user temp directory.
 
 When ``--export DIR`` or ``--trace`` is given, a ``run_manifest.json``
 capturing config, seed, code revision, per-phase wall time, and the final
@@ -116,6 +132,30 @@ def _build_parser() -> argparse.ArgumentParser:
             metavar="N",
             help="worker processes for independent sweep points "
             "(1 = serial; results are bit-identical at any level)",
+        )
+        p.add_argument(
+            "--timeseries",
+            nargs="?",
+            const=-1.0,
+            type=float,
+            default=None,
+            metavar="SECONDS",
+            help="record a convergence time-series (coverage, rank "
+            "inversion, cache hit rate, net deltas); optional sim-time "
+            "cadence in seconds, default one row per stats sample",
+        )
+        p.add_argument(
+            "--prof",
+            action="store_true",
+            help="profile phases and maxflow kernels (wall+CPU) and "
+            "print/store a profile section",
+        )
+        p.add_argument(
+            "--monitor-dir",
+            metavar="DIR",
+            default=None,
+            help="spool directory for live sweep monitoring "
+            "('repro monitor'; default: per-user temp dir)",
         )
 
     def add_faults(p: argparse.ArgumentParser) -> None:
@@ -322,6 +362,56 @@ def _build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="fig4 population size (default: 1000, or 5000 for --profile paper)",
+    )
+    pr = sub.add_parser(
+        "report", help="re-render the summary of a stored run manifest"
+    )
+    pr.add_argument(
+        "path",
+        metavar="PATH",
+        help="an export directory or a run_manifest.json path",
+    )
+    pm = sub.add_parser(
+        "monitor", help="watch a running --jobs sweep from another terminal"
+    )
+    pm.add_argument(
+        "dir",
+        nargs="?",
+        default=None,
+        metavar="DIR",
+        help="sweep spool directory (default: REPRO_MONITOR_DIR or the "
+        "per-user temp spool)",
+    )
+    pm.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="refresh interval",
+    )
+    pm.add_argument(
+        "--once",
+        action="store_true",
+        help="print the current status once and exit",
+    )
+    pm.add_argument(
+        "--stall-after",
+        type=float,
+        default=120.0,
+        metavar="SECONDS",
+        help="flag a worker as stalled after this long without a heartbeat",
+    )
+    pc = sub.add_parser(
+        "chrome-trace",
+        help="convert a JSONL trace to Chrome trace-event JSON (Perfetto)",
+    )
+    pc.add_argument("trace", metavar="TRACE", help="JSONL trace written by --trace")
+    pc.add_argument(
+        "-o",
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="output path (default: TRACE with a .chrome.json suffix)",
     )
     return parser
 
@@ -658,15 +748,76 @@ def _manifest_destination(args: argparse.Namespace) -> Optional[Path]:
     return None
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    """``repro report``: re-render the summary of a stored manifest.
+
+    Accepts either an export directory or a bare ``run_manifest.json``
+    path; a missing file or a schema-version mismatch produces a
+    readable error and exit code 2, not a traceback.
+    """
+    from repro.obs.manifest import MANIFEST_FILENAME, read_manifest
+    from repro.obs.report import render_manifest_report
+
+    path = Path(args.path)
+    if path.is_dir():
+        path = path / MANIFEST_FILENAME
+    try:
+        doc = read_manifest(path)
+    except FileNotFoundError:
+        print(f"error: no run manifest at {path}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_manifest_report(doc))
+    return 0
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    """``repro monitor``: live view of a running ``--jobs`` sweep."""
+    from repro.obs.monitor import resolve_monitor_dir, watch
+
+    return watch(
+        resolve_monitor_dir(args.dir),
+        interval=args.interval,
+        once=args.once,
+        stall_after=args.stall_after,
+    )
+
+
+def _cmd_chrome_trace(args: argparse.Namespace) -> int:
+    """``repro chrome-trace``: JSONL trace -> Perfetto-loadable JSON."""
+    from repro.obs.chrome_trace import write_chrome_trace
+
+    trace = Path(args.trace)
+    out = Path(args.out) if args.out else trace.with_suffix(".chrome.json")
+    try:
+        path = write_chrome_trace(out, trace_path=trace)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"[wrote {path}]")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
+    # Utility subcommands read stored artifacts; no run, no observability.
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "monitor":
+        return _cmd_monitor(args)
+    if args.command == "chrome-trace":
+        return _cmd_chrome_trace(args)
     t0 = time.time()
     obs = make_observability(
         metrics=getattr(args, "metrics", False),
         trace_path=getattr(args, "trace", None),
         trace_sample=getattr(args, "trace_sample", None),
         seed=getattr(args, "seed", 0),
+        profile=getattr(args, "prof", False),
+        timeseries=getattr(args, "timeseries", None),
     )
     manifest = ManifestBuilder(
         command=args.command,
@@ -686,56 +837,65 @@ def main(argv: Optional[List[str]] = None) -> int:
     if jobs > 1:
         from repro.parallel import ParallelRunner
 
-        runner = ParallelRunner(jobs=jobs, obs=obs)
+        runner = ParallelRunner(
+            jobs=jobs, obs=obs, monitor_dir=getattr(args, "monitor_dir", None)
+        )
     from repro.obs import provenance_totals_delta, snapshot_provenance_totals
+    from repro.obs.profile import activate as _activate_profiler
 
     prov_base = snapshot_provenance_totals()
     exit_code = 0
     try:
-        if args.command == "fig4":
-            _fig4(args.peers, args.seed, export_dir, obs, manifest, runner)
-        elif args.command == "whitewash":
-            _whitewash(args.seed, manifest, runner)
-        elif args.command == "scalability":
-            _scalability(args.peers, args.seed, manifest, runner, args.backend)
-        else:
-            scenario = ScenarioConfig.named(args.profile, seed=args.seed)
-            if getattr(args, "provenance", False):
-                scenario = scenario.with_provenance()
-            manifest.config = None if scenario is None else _describe_scenario(scenario)
-            if args.command != "faults":
-                # The faults sweep builds its own per-point FaultConfig;
-                # figure commands take theirs from the shared flags.
-                fault_cfg = _fault_config_from_args(args)
-                if fault_cfg is not None:
-                    scenario = scenario.with_faults(fault_cfg)
-                    manifest.set_faults(fault_cfg)
-            if args.command == "explain":
-                exit_code = _explain(scenario, args, obs, manifest)
-            elif args.command == "faults":
-                _faults(scenario, args, export_dir, obs, manifest, runner)
-            elif args.command == "fig1":
-                _fig1(scenario, export_dir, obs, manifest, runner)
-            elif args.command == "fig2":
-                _fig2(scenario, export_dir, obs, manifest, runner)
-            elif args.command == "fig3":
-                _fig3(scenario, args.kind, export_dir, obs, manifest, runner)
-            elif args.command == "all":
-                fig4_peers = args.fig4_peers
-                if fig4_peers is None:
-                    fig4_peers = 1000 if args.profile != "paper" else 5000
-                if runner is not None:
-                    _all_parallel(
-                        scenario, fig4_peers, args.seed, export_dir, manifest, runner
-                    )
-                else:
-                    _fig1(scenario, export_dir, obs, manifest)
-                    print()
-                    _fig2(scenario, export_dir, obs, manifest)
-                    print()
-                    _fig3(scenario, "both", export_dir, obs, manifest)
-                    print()
-                    _fig4(fig4_peers, args.seed, export_dir, obs, manifest)
+        # Scope the profiler as the process-wide kernel hook for the whole
+        # command (a disabled profiler makes this a no-op guard).
+        with _activate_profiler(obs.profiler):
+            if args.command == "fig4":
+                _fig4(args.peers, args.seed, export_dir, obs, manifest, runner)
+            elif args.command == "whitewash":
+                _whitewash(args.seed, manifest, runner)
+            elif args.command == "scalability":
+                _scalability(args.peers, args.seed, manifest, runner, args.backend)
+            else:
+                scenario = ScenarioConfig.named(args.profile, seed=args.seed)
+                if getattr(args, "provenance", False):
+                    scenario = scenario.with_provenance()
+                manifest.config = (
+                    None if scenario is None else _describe_scenario(scenario)
+                )
+                if args.command != "faults":
+                    # The faults sweep builds its own per-point FaultConfig;
+                    # figure commands take theirs from the shared flags.
+                    fault_cfg = _fault_config_from_args(args)
+                    if fault_cfg is not None:
+                        scenario = scenario.with_faults(fault_cfg)
+                        manifest.set_faults(fault_cfg)
+                if args.command == "explain":
+                    exit_code = _explain(scenario, args, obs, manifest)
+                elif args.command == "faults":
+                    _faults(scenario, args, export_dir, obs, manifest, runner)
+                elif args.command == "fig1":
+                    _fig1(scenario, export_dir, obs, manifest, runner)
+                elif args.command == "fig2":
+                    _fig2(scenario, export_dir, obs, manifest, runner)
+                elif args.command == "fig3":
+                    _fig3(scenario, args.kind, export_dir, obs, manifest, runner)
+                elif args.command == "all":
+                    fig4_peers = args.fig4_peers
+                    if fig4_peers is None:
+                        fig4_peers = 1000 if args.profile != "paper" else 5000
+                    if runner is not None:
+                        _all_parallel(
+                            scenario, fig4_peers, args.seed, export_dir,
+                            manifest, runner,
+                        )
+                    else:
+                        _fig1(scenario, export_dir, obs, manifest)
+                        print()
+                        _fig2(scenario, export_dir, obs, manifest)
+                        print()
+                        _fig3(scenario, "both", export_dir, obs, manifest)
+                        print()
+                        _fig4(fig4_peers, args.seed, export_dir, obs, manifest)
     finally:
         obs.close()
     prov_delta = provenance_totals_delta(prov_base)
@@ -748,13 +908,33 @@ def main(argv: Optional[List[str]] = None) -> int:
             if len(runner.run_history) == 1
             else runner.run_history,
         )
+    if obs.timeseries.enabled:
+        manifest.note("timeseries", obs.timeseries.summary())
+    if obs.profiler.enabled:
+        manifest.note("profile", obs.profiler.summary())
     if obs.metrics.enabled:
         print()
         print(render_report(obs.metrics, wall_seconds=time.time() - t0))
+    if obs.profiler.enabled:
+        from repro.obs.report import render_profile
+
+        print()
+        print(render_profile(obs.profiler.summary()))
     destination = _manifest_destination(args)
     if destination is not None:
         path = manifest.write(destination, metrics=obs.metrics, tracer=obs.tracer)
         print(f"[wrote {path}]")
+        out_dir = path.parent
+        for ts_path in obs.timeseries.export(out_dir):
+            print(f"[wrote {ts_path}]")
+        if obs.profiler.enabled and obs.profiler.spans:
+            from repro.obs.chrome_trace import write_chrome_trace
+
+            chrome = write_chrome_trace(
+                out_dir / "profile_chrome.json",
+                profile_spans=obs.profiler.spans,
+            )
+            print(f"[wrote {chrome}]")
     print(f"\n[done in {time.time() - t0:.1f}s]", file=sys.stderr)
     return exit_code
 

@@ -33,6 +33,7 @@ iteration order); it remains the oracle the columnar twins are pinned to.
 
 from __future__ import annotations
 
+import time as _time
 from typing import Dict, Hashable, Iterable, Tuple
 
 from repro.graph.columnar import (
@@ -43,6 +44,7 @@ from repro.graph.columnar import (
 )
 from repro.graph.maxflow import KERNEL_INVOCATIONS, _two_hop_paths
 from repro.graph.transfer_graph import TransferGraph
+from repro.obs import profile as _profile
 
 __all__ = ["maxflow_two_hop_batch"]
 
@@ -89,6 +91,23 @@ def maxflow_two_hop_batch(
         bit-identical (the recording twin mirrors the accumulation
         order).
     """
+    prof = _profile.ACTIVE
+    if prof is None:
+        return _two_hop_batch_impl(graph, owner, targets, record_paths, None)
+    t0 = _time.perf_counter()
+    try:
+        return _two_hop_batch_impl(graph, owner, targets, record_paths, prof)
+    finally:
+        prof.observe_kernel("maxflow_two_hop_batch", _time.perf_counter() - t0)
+
+
+def _two_hop_batch_impl(
+    graph: TransferGraph,
+    owner: PeerId,
+    targets: Iterable[PeerId],
+    record_paths: bool,
+    prof,
+) -> Dict[PeerId, Tuple]:
     results: Dict[PeerId, Tuple] = {}
     KERNEL_INVOCATIONS["maxflow_two_hop_batch"] += 1
     if not graph.has_node(owner):
@@ -122,10 +141,24 @@ def maxflow_two_hop_batch(
             and len(uniq) * 128 >= graph.num_edges
         ):
             KERNEL_INVOCATIONS["maxflow_two_hop_batch_columnar"] += 1
-            results = two_hop_batch_arrays(graph, owner, uniq)
+            if prof is None:
+                results = two_hop_batch_arrays(graph, owner, uniq)
+            else:
+                t0 = _time.perf_counter()
+                results = two_hop_batch_arrays(graph, owner, uniq)
+                prof.observe_kernel(
+                    "two_hop_batch_arrays", _time.perf_counter() - t0
+                )
         else:
             KERNEL_INVOCATIONS["maxflow_two_hop_batch_rows"] += 1
-            results = two_hop_batch_rows(graph, owner, uniq)
+            if prof is None:
+                results = two_hop_batch_rows(graph, owner, uniq)
+            else:
+                t0 = _time.perf_counter()
+                results = two_hop_batch_rows(graph, owner, uniq)
+                prof.observe_kernel(
+                    "two_hop_batch_rows", _time.perf_counter() - t0
+                )
         KERNEL_INVOCATIONS["maxflow_two_hop_batch_targets"] += len(results)
         return results
 

@@ -49,10 +49,12 @@ so the online kernels stay byte-identical to the seed implementation.
 
 from __future__ import annotations
 
+import time as _time
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Mapping, Optional, Tuple
 
 from repro.graph.transfer_graph import TransferGraph
+from repro.obs import profile as _profile
 
 __all__ = [
     "FlowPath",
@@ -360,9 +362,18 @@ def ford_fulkerson(
     terminates quickly on the small local graphs BarterCast builds.
     """
     KERNEL_INVOCATIONS["ford_fulkerson"] += 1
-    return _run_ford_fulkerson(
-        graph, source, sink, max_hops=None, eps=eps, record_paths=record_paths
-    )
+    prof = _profile.ACTIVE
+    if prof is None:
+        return _run_ford_fulkerson(
+            graph, source, sink, max_hops=None, eps=eps, record_paths=record_paths
+        )
+    t0 = _time.perf_counter()
+    try:
+        return _run_ford_fulkerson(
+            graph, source, sink, max_hops=None, eps=eps, record_paths=record_paths
+        )
+    finally:
+        prof.observe_kernel("ford_fulkerson", _time.perf_counter() - t0)
 
 
 def bounded_ford_fulkerson(
@@ -386,9 +397,18 @@ def bounded_ford_fulkerson(
     if max_hops < 1:
         raise ValueError(f"max_hops must be >= 1, got {max_hops}")
     KERNEL_INVOCATIONS["bounded_ford_fulkerson"] += 1
-    return _run_ford_fulkerson(
-        graph, source, sink, max_hops=max_hops, eps=eps, record_paths=record_paths
-    )
+    prof = _profile.ACTIVE
+    if prof is None:
+        return _run_ford_fulkerson(
+            graph, source, sink, max_hops=max_hops, eps=eps, record_paths=record_paths
+        )
+    t0 = _time.perf_counter()
+    try:
+        return _run_ford_fulkerson(
+            graph, source, sink, max_hops=max_hops, eps=eps, record_paths=record_paths
+        )
+    finally:
+        prof.observe_kernel("bounded_ford_fulkerson", _time.perf_counter() - t0)
 
 
 def maxflow_two_hop(
@@ -409,6 +429,19 @@ def maxflow_two_hop(
     if source == sink:
         raise ValueError("source and sink must differ")
     KERNEL_INVOCATIONS["maxflow_two_hop"] += 1
+    prof = _profile.ACTIVE
+    if prof is not None:
+        t0 = _time.perf_counter()
+        try:
+            return _two_hop_impl(graph, source, sink, record_paths)
+        finally:
+            prof.observe_kernel("maxflow_two_hop", _time.perf_counter() - t0)
+    return _two_hop_impl(graph, source, sink, record_paths)
+
+
+def _two_hop_impl(
+    graph: TransferGraph, source: PeerId, sink: PeerId, record_paths: bool
+) -> FlowResult:
     if not graph.has_node(source) or not graph.has_node(sink):
         return FlowResult(value=0.0, source=source, sink=sink)
     if record_paths:

@@ -56,6 +56,21 @@ from repro.obs.provenance import (
     provenance_totals_delta,
     snapshot_provenance_totals,
 )
+from repro.obs.profile import (
+    NULL_PROFILER,
+    NullProfiler,
+    Profiler,
+    activate,
+    set_active_profiler,
+)
+from repro.obs.timeseries import (
+    NULL_TIMESERIES,
+    TIMESERIES_SCHEMA,
+    NullTimeSeriesCollector,
+    TimeSeriesCollector,
+    TimeSeriesConfig,
+    TimeSeriesRecorder,
+)
 from repro.obs.trace import (
     NULL_TRACER,
     TRACE_SCHEMA,
@@ -94,6 +109,17 @@ __all__ = [
     "NULL_PROVENANCE",
     "snapshot_provenance_totals",
     "provenance_totals_delta",
+    "Profiler",
+    "NullProfiler",
+    "NULL_PROFILER",
+    "activate",
+    "set_active_profiler",
+    "TimeSeriesCollector",
+    "TimeSeriesConfig",
+    "TimeSeriesRecorder",
+    "NullTimeSeriesCollector",
+    "NULL_TIMESERIES",
+    "TIMESERIES_SCHEMA",
 ]
 
 
@@ -103,19 +129,26 @@ class Observability:
 
     metrics: MetricsRegistry = field(default_factory=lambda: NULL_METRICS)
     tracer: TraceEmitter = field(default_factory=lambda: NULL_TRACER)
+    timeseries: TimeSeriesCollector = field(default_factory=lambda: NULL_TIMESERIES)
+    profiler: Profiler = field(default_factory=lambda: NULL_PROFILER)
 
     @property
     def enabled(self) -> bool:
-        """Whether either leg is live."""
+        """Whether a hot-path leg (metrics or tracing) is live.
+
+        The timeseries and profiler legs have their own attach points
+        (periodic sampling events, phase hooks) and are checked via
+        their own ``.enabled`` where they plug in.
+        """
         return self.metrics.enabled or self.tracer.enabled
 
     def close(self) -> None:
-        """Flush and close the tracer (metrics need no teardown)."""
+        """Flush and close the tracer (other legs need no teardown)."""
         self.tracer.close()
 
 
 #: The shared disabled bundle — the default for every constructor.
-NULL_OBS = Observability(NULL_METRICS, NULL_TRACER)
+NULL_OBS = Observability(NULL_METRICS, NULL_TRACER, NULL_TIMESERIES, NULL_PROFILER)
 
 
 def make_observability(
@@ -123,6 +156,8 @@ def make_observability(
     trace_path: Optional[Union[str, Path]] = None,
     trace_sample: Union[float, str, Dict[str, float], None] = 1.0,
     seed: int = 0,
+    profile: bool = False,
+    timeseries: Union[TimeSeriesConfig, float, None] = None,
 ) -> Observability:
     """Construct the bundle the CLI flags describe.
 
@@ -138,8 +173,14 @@ def make_observability(
         (``--trace-sample``).
     seed:
         Seed of the deterministic trace-sampling streams.
+    profile:
+        Enable phase/kernel profiling (``--prof``).
+    timeseries:
+        Enable convergence time-series recording (``--timeseries``):
+        a :class:`TimeSeriesConfig`, or a sim-time cadence in seconds
+        (values ``<= 0`` mean "use the scenario's sample interval").
     """
-    if not metrics and trace_path is None:
+    if not metrics and trace_path is None and not profile and timeseries is None:
         return NULL_OBS
     registry: MetricsRegistry = MetricsRegistry() if metrics else NULL_METRICS
     tracer: TraceEmitter = NULL_TRACER
@@ -153,7 +194,21 @@ def make_observability(
         tracer = TraceEmitter(
             trace_path, sample_rates=rates, default_rate=default_rate, seed=seed
         )
-    return Observability(metrics=registry, tracer=tracer)
+    if timeseries is None:
+        collector: TimeSeriesCollector = NULL_TIMESERIES
+    elif isinstance(timeseries, TimeSeriesConfig):
+        collector = TimeSeriesCollector(timeseries)
+    else:
+        interval = float(timeseries)
+        collector = TimeSeriesCollector(
+            TimeSeriesConfig(interval_s=interval if interval > 0 else None)
+        )
+    return Observability(
+        metrics=registry,
+        tracer=tracer,
+        timeseries=collector,
+        profiler=Profiler() if profile else NULL_PROFILER,
+    )
 
 
 def parse_sample_spec(spec: str) -> Tuple[float, Dict[str, float]]:

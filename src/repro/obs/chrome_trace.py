@@ -1,0 +1,146 @@
+"""Convert JSONL traces and profile spans to Chrome trace-event JSON.
+
+The output loads directly into Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing``: a JSON object with a ``traceEvents`` list in the
+Trace Event Format.  Two sources feed it:
+
+* a JSONL trace written by :class:`~repro.obs.trace.TraceEmitter`
+  (``repro ... --trace run.jsonl``) — spans become ``"X"`` (complete)
+  events, instantaneous records become ``"i"`` (instant) events, one
+  pseudo-thread per trace category;
+* a profiler span log (:attr:`repro.obs.profile.Profiler.spans`) —
+  phase activations become ``"X"`` events on their own pseudo-process.
+
+Timestamps are microseconds of wall time since the emitter/profiler
+started, which is what the Trace Event Format expects; the original
+sim-time of each record is preserved in ``args.sim``.
+
+CLI: ``repro chrome-trace run.jsonl -o run_chrome.json``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.obs.trace import read_trace
+
+__all__ = [
+    "profile_spans_to_chrome_events",
+    "trace_to_chrome_events",
+    "write_chrome_trace",
+]
+
+#: Pseudo-pids separating the two event sources in the viewer.
+TRACE_PID = 1
+PROFILE_PID = 2
+
+
+def trace_to_chrome_events(header: dict, events: Iterable[dict]) -> List[dict]:
+    """Map JSONL trace records to Chrome trace events.
+
+    Records with a duration become complete (``"X"``) events whose start
+    is ``wall - dur``; the rest become instant (``"i"``) events at
+    ``wall``.  Each trace category gets its own thread row, named via
+    metadata events.
+    """
+    out: List[dict] = [
+        {
+            "ph": "M",
+            "pid": TRACE_PID,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": f"trace (seed {header.get('seed')})"},
+        }
+    ]
+    tids: Dict[str, int] = {}
+    for event in events:
+        cat = str(event.get("cat", "trace"))
+        tid = tids.get(cat)
+        if tid is None:
+            tid = tids[cat] = len(tids) + 1
+            out.append(
+                {
+                    "ph": "M",
+                    "pid": TRACE_PID,
+                    "tid": tid,
+                    "name": "thread_name",
+                    "args": {"name": cat},
+                }
+            )
+        args = dict(event.get("attrs") or {})
+        if event.get("sim") is not None:
+            args["sim"] = event["sim"]
+        wall_us = float(event.get("wall", 0.0)) * 1e6
+        record = {
+            "name": event.get("name", "event"),
+            "cat": cat,
+            "pid": TRACE_PID,
+            "tid": tid,
+            "args": args,
+        }
+        dur = event.get("dur")
+        if dur is not None:
+            dur_us = float(dur) * 1e6
+            record.update(ph="X", ts=wall_us - dur_us, dur=dur_us)
+        else:
+            record.update(ph="i", ts=wall_us, s="t")
+        out.append(record)
+    return out
+
+
+def profile_spans_to_chrome_events(spans: Sequence[Sequence]) -> List[dict]:
+    """Map profiler ``(path, depth, start_s, dur_s)`` spans to ``"X"``
+    events on the profile pseudo-process."""
+    out: List[dict] = [
+        {
+            "ph": "M",
+            "pid": PROFILE_PID,
+            "tid": 1,
+            "name": "process_name",
+            "args": {"name": "profile phases"},
+        }
+    ]
+    for span in spans:
+        path, depth, start, dur = span[0], span[1], span[2], span[3]
+        out.append(
+            {
+                "name": str(path),
+                "cat": "phase",
+                "ph": "X",
+                "pid": PROFILE_PID,
+                "tid": 1,
+                "ts": float(start) * 1e6,
+                "dur": float(dur) * 1e6,
+                "args": {"depth": depth},
+            }
+        )
+    return out
+
+
+def write_chrome_trace(
+    out_path: Union[str, Path],
+    trace_path: Optional[Union[str, Path]] = None,
+    profile_spans: Optional[Sequence[Sequence]] = None,
+) -> Path:
+    """Write a Chrome trace JSON from either or both sources.
+
+    Raises :class:`ValueError` if neither source is given, or if the
+    JSONL trace has a bad/missing header (propagated from
+    :func:`~repro.obs.trace.read_trace`).
+    """
+    events: List[dict] = []
+    if trace_path is not None:
+        header, records = read_trace(trace_path)
+        events.extend(trace_to_chrome_events(header, records))
+    if profile_spans:
+        events.extend(profile_spans_to_chrome_events(profile_spans))
+    if not events:
+        raise ValueError("nothing to convert: no trace path and no profile spans")
+    out_path = Path(out_path)
+    out_path.write_text(
+        json.dumps({"traceEvents": events, "displayTimeUnit": "ms"}) + "\n",
+        encoding="utf-8",
+    )
+    return out_path

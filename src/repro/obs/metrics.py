@@ -65,7 +65,7 @@ class Counter:
             raise ValueError(f"counter {self.name!r} cannot decrease")
         self.value += amount
 
-    def snapshot(self) -> dict:
+    def snapshot(self, include_reservoir: bool = False) -> dict:
         return {"type": "counter", "value": self.value}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -87,7 +87,7 @@ class Gauge:
     def inc(self, amount: float = 1.0) -> None:
         self.value += amount
 
-    def snapshot(self) -> dict:
+    def snapshot(self, include_reservoir: bool = False) -> dict:
         return {"type": "gauge", "value": self.value}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -188,7 +188,12 @@ class Histogram:
         idx = min(len(ordered) - 1, int(round(q * (len(ordered) - 1))))
         return ordered[idx]
 
-    def snapshot(self) -> dict:
+    def snapshot(self, include_reservoir: bool = False) -> dict:
+        """JSON-safe summary; ``include_reservoir`` additionally ships
+        the raw reservoir sample so a receiving registry can merge
+        quantiles (the parallel worker ship-home path).  The default
+        stays reservoir-free: manifests and reports only need the
+        derived quantiles."""
         out = {
             "type": "histogram",
             "count": self.count,
@@ -203,20 +208,30 @@ class Histogram:
         if self.bounds is not None:
             out["bounds"] = list(self.bounds)
             out["bucket_counts"] = list(self.bucket_counts)
+        if include_reservoir and self._reservoir:
+            out["reservoir"] = list(self._reservoir)
         return out
 
     def merge_snapshot_dict(self, snap: dict) -> None:
         """Fold another histogram's :meth:`snapshot` into this one.
 
         ``count``, ``total``, ``min``, ``max`` and (matching) bucket
-        counts merge exactly; the quantile reservoir cannot be rebuilt
-        from a snapshot, so post-merge quantiles reflect only locally
-        observed values (the parallel-execution DESIGN section documents
-        this).
+        counts merge exactly.  When the snapshot carries its reservoir
+        (``snapshot(include_reservoir=True)``), quantiles merge too:
+        if both sides' reservoirs are complete samples (every observed
+        value present) the reservoirs concatenate — exact, and
+        bit-identical to a serial run over the union; otherwise the two
+        reservoirs are resampled by weighted sampling without
+        replacement (Efraimidis–Spirakis A-Res, each value weighted by
+        its side's observations-per-slot) through the name-seeded RNG,
+        so the merged estimate is deterministic given merge order.
+        Snapshots without a reservoir merge as before: post-merge
+        quantiles then reflect only locally observed values.
         """
         merged = int(snap.get("count") or 0)
         if merged <= 0:
             return
+        own_count = self.count
         self.count += merged
         self.total += float(snap.get("total") or 0.0)
         if snap.get("min") is not None and snap["min"] < self.min:
@@ -230,6 +245,34 @@ class Histogram:
         ):
             for i, c in enumerate(snap["bucket_counts"]):
                 self.bucket_counts[i] += int(c)
+        reservoir = snap.get("reservoir")
+        if reservoir:
+            self._merge_reservoir(
+                [float(v) for v in reservoir], merged, own_count
+            )
+
+    def _merge_reservoir(
+        self, incoming: List[float], incoming_count: int, own_count: int
+    ) -> None:
+        mine = self._reservoir
+        size = self._reservoir_size
+        if own_count + incoming_count <= size:
+            # len(reservoir) == min(count, size), so both sides hold
+            # every value they observed: concatenation is the exact
+            # union sample.
+            mine.extend(incoming)
+            return
+        # A-Res: key each value by u**(1/w) where w is how many
+        # observations each reservoir slot represents, keep the top
+        # ``size`` keys.  Deterministic via the name-seeded RNG as long
+        # as merges happen in a fixed order (sorted names, task order).
+        w_own = own_count / len(mine) if mine else 1.0
+        w_in = incoming_count / len(incoming)
+        rng = self._rng
+        keyed = [(rng.random() ** (1.0 / w_own), v) for v in mine]
+        keyed += [(rng.random() ** (1.0 / w_in), v) for v in incoming]
+        keyed.sort(key=lambda kv: kv[0], reverse=True)
+        self._reservoir = [v for _, v in keyed[:size]]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Histogram {self.name} n={self.count} mean={self.mean:.4g}>"
@@ -263,8 +306,8 @@ class Timer:
     def __exit__(self, *exc) -> None:
         self.histogram.observe(time.perf_counter() - self._starts.pop())
 
-    def snapshot(self) -> dict:
-        out = self.histogram.snapshot()
+    def snapshot(self, include_reservoir: bool = False) -> dict:
+        out = self.histogram.snapshot(include_reservoir=include_reservoir)
         out["type"] = "timer"
         return out
 
@@ -334,9 +377,17 @@ class MetricsRegistry:
             return metric.value
         return default
 
-    def snapshot(self) -> Dict[str, dict]:
-        """JSON-safe dump of every instrument, keyed by name."""
-        return {name: self._metrics[name].snapshot() for name in sorted(self._metrics)}
+    def snapshot(self, include_reservoir: bool = False) -> Dict[str, dict]:
+        """JSON-safe dump of every instrument, keyed by name.
+
+        ``include_reservoir`` threads through to histogram/timer
+        snapshots (see :meth:`Histogram.snapshot`); the default dump
+        stays compact for manifests and reports.
+        """
+        return {
+            name: self._metrics[name].snapshot(include_reservoir=include_reservoir)
+            for name in sorted(self._metrics)
+        }
 
     def merge_snapshot(self, snapshot: Dict[str, dict]) -> None:
         """Fold another registry's :meth:`snapshot` into this one.

@@ -1,0 +1,237 @@
+"""Live sweep monitoring over a file-based spool (no IPC).
+
+A ``--jobs N`` sweep can run for hours with nothing on the terminal.
+This module makes its progress observable *without touching the result
+path*: the parent runner and each worker write tiny JSON heartbeat files
+into a spool directory, and ``repro monitor`` renders them from any
+other terminal.  Everything is best-effort — every write is wrapped in
+``try/except OSError`` and no simulation state ever depends on the spool
+— so the runner's bit-identity and crash-recovery guarantees are
+untouched.
+
+Spool layout (one directory per concurrently-monitored sweep)::
+
+    sweep.json          parent: totals, done count, jobs, last task
+    worker-<pid>.json   per worker process: current task, state, time
+
+The default spool is a fixed per-user directory under the system temp
+dir, so ``repro monitor`` with no argument finds the most recent sweep;
+point ``--monitor-dir`` (or ``REPRO_MONITOR_DIR``) somewhere else to
+keep concurrent sweeps apart.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import List, Optional, Union
+
+__all__ = [
+    "MONITOR_SCHEMA",
+    "SweepMonitorWriter",
+    "default_monitor_dir",
+    "read_status",
+    "render_status",
+    "watch",
+    "write_worker_heartbeat",
+]
+
+MONITOR_SCHEMA = "bartercast-monitor/v1"
+SWEEP_FILENAME = "sweep.json"
+
+#: Seconds without a heartbeat before a running worker is flagged stalled.
+DEFAULT_STALL_AFTER = 120.0
+
+
+def default_monitor_dir() -> Path:
+    """Fixed per-user spool directory under the system temp dir."""
+    uid = os.getuid() if hasattr(os, "getuid") else 0
+    return Path(tempfile.gettempdir()) / f"repro-monitor-{uid}"
+
+
+def resolve_monitor_dir(explicit: Optional[Union[str, Path]] = None) -> Path:
+    """``explicit`` flag > ``REPRO_MONITOR_DIR`` env > per-user default."""
+    if explicit is not None:
+        return Path(explicit)
+    env = os.environ.get("REPRO_MONITOR_DIR")
+    if env:
+        return Path(env)
+    return default_monitor_dir()
+
+
+def _write_json(path: Path, doc: dict) -> None:
+    """Atomic best-effort JSON write (tmp + rename); failures are silent."""
+    try:
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(doc), encoding="utf-8")
+        os.replace(tmp, path)
+    except OSError:
+        pass
+
+
+class SweepMonitorWriter:
+    """Parent-side spool writer for one :class:`ParallelRunner` pool run."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self._started = time.time()
+        self._doc: dict = {}
+
+    def start(self, total: int, jobs: int, command: str = "sweep") -> None:
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            # A fresh sweep owns the spool: drop stale worker heartbeats.
+            for stale in self.directory.glob("worker-*.json"):
+                stale.unlink(missing_ok=True)
+        except OSError:
+            pass
+        self._started = time.time()
+        self._doc = {
+            "schema": MONITOR_SCHEMA,
+            "pid": os.getpid(),
+            "command": command,
+            "total": total,
+            "done": 0,
+            "jobs": jobs,
+            "status": "running",
+            "started_unix": self._started,
+            "updated_unix": self._started,
+            "last_task": None,
+        }
+        _write_json(self.directory / SWEEP_FILENAME, self._doc)
+
+    def task_done(self, task_id: str, done: int) -> None:
+        self._doc.update(done=done, last_task=task_id, updated_unix=time.time())
+        _write_json(self.directory / SWEEP_FILENAME, self._doc)
+
+    def finish(self, status: str = "done") -> None:
+        self._doc.update(status=status, updated_unix=time.time())
+        _write_json(self.directory / SWEEP_FILENAME, self._doc)
+
+
+#: Per-worker-process completed-task count (workers are single-threaded).
+_WORKER_TASKS_DONE = 0
+
+
+def write_worker_heartbeat(
+    directory: Union[str, Path], task_id: str, state: str
+) -> None:
+    """Worker-side heartbeat: ``state`` is ``"running"`` or ``"done"``."""
+    global _WORKER_TASKS_DONE
+    if state == "done":
+        _WORKER_TASKS_DONE += 1
+    pid = os.getpid()
+    _write_json(
+        Path(directory) / f"worker-{pid}.json",
+        {
+            "schema": MONITOR_SCHEMA,
+            "pid": pid,
+            "task_id": task_id,
+            "state": state,
+            "tasks_done": _WORKER_TASKS_DONE,
+            "time_unix": time.time(),
+        },
+    )
+
+
+def read_status(directory: Union[str, Path]) -> Optional[dict]:
+    """Load ``{"sweep": ..., "workers": [...]}``; ``None`` if no sweep."""
+    directory = Path(directory)
+    try:
+        sweep = json.loads((directory / SWEEP_FILENAME).read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+    workers: List[dict] = []
+    for path in sorted(directory.glob("worker-*.json")):
+        try:
+            workers.append(json.loads(path.read_text(encoding="utf-8")))
+        except (OSError, ValueError):
+            continue
+    return {"sweep": sweep, "workers": workers}
+
+
+def _fmt_eta(seconds: float) -> str:
+    if seconds >= 3600:
+        return f"{seconds / 3600:.1f}h"
+    if seconds >= 60:
+        return f"{seconds / 60:.1f}m"
+    return f"{seconds:.0f}s"
+
+
+def render_status(
+    status: dict,
+    now: Optional[float] = None,
+    stall_after: float = DEFAULT_STALL_AFTER,
+) -> str:
+    """Human-readable one-screen rendering of :func:`read_status`."""
+    now = time.time() if now is None else now
+    sweep = status["sweep"]
+    total = int(sweep.get("total") or 0)
+    done = int(sweep.get("done") or 0)
+    elapsed = max(0.0, now - float(sweep.get("started_unix") or now))
+    pct = (100.0 * done / total) if total else 0.0
+    line = (
+        f"sweep {sweep.get('command', '?')}: {done}/{total} tasks ({pct:.0f}%)"
+        f" · jobs {sweep.get('jobs', '?')} · {sweep.get('status', '?')}"
+        f" · elapsed {_fmt_eta(elapsed)}"
+    )
+    if sweep.get("status") == "running" and 0 < done < total:
+        eta = elapsed / done * (total - done)
+        line += f" · ETA {_fmt_eta(eta)}"
+    lines = [line]
+    if sweep.get("last_task"):
+        lines.append(f"  last finished: {sweep['last_task']}")
+    for worker in status["workers"]:
+        age = max(0.0, now - float(worker.get("time_unix") or now))
+        state = worker.get("state", "?")
+        entry = (
+            f"  worker {worker.get('pid')}: {state} {worker.get('task_id')}"
+            f" ({age:.1f}s ago, {worker.get('tasks_done', 0)} done)"
+        )
+        if state == "running" and age > stall_after:
+            entry += "  ** STALLED? no heartbeat **"
+        lines.append(entry)
+    if not status["workers"]:
+        lines.append("  (no worker heartbeats yet)")
+    return "\n".join(lines)
+
+
+def watch(
+    directory: Union[str, Path],
+    interval: float = 2.0,
+    once: bool = False,
+    stall_after: float = DEFAULT_STALL_AFTER,
+    stream=None,
+) -> int:
+    """Poll the spool and print status until the sweep finishes.
+
+    Returns a shell exit code (2 when no sweep was found at all).
+    """
+    stream = sys.stdout if stream is None else stream
+    directory = Path(directory)
+    seen = False
+    while True:
+        status = read_status(directory)
+        if status is None:
+            if once or seen:
+                if not seen:
+                    print(f"no sweep found in {directory}", file=stream)
+                    return 2
+                print("sweep spool vanished; stopping", file=stream)
+                return 0
+            print(f"waiting for a sweep in {directory} ...", file=stream)
+        else:
+            seen = True
+            print(render_status(status, stall_after=stall_after), file=stream)
+            if status["sweep"].get("status") != "running":
+                return 0
+        if once:
+            return 0 if seen else 2
+        try:
+            time.sleep(interval)
+        except KeyboardInterrupt:  # pragma: no cover - interactive
+            return 0

@@ -1,0 +1,295 @@
+"""Nestable phase/kernel profiling with deterministic overhead.
+
+The profiler answers "where does wall-clock go inside a run?" without
+perturbing the run itself: it never touches a simulation RNG stream, and
+every hook is guarded by a cached ``None`` check so a disabled profiler
+costs one attribute load per instrumented block (the same discipline as
+:mod:`repro.obs.metrics`).
+
+Three observation surfaces:
+
+* :meth:`Profiler.phase` — a nestable context manager for coarse phases
+  (``bt.round`` / ``choke`` / ``transfer`` / ``gossip``).  Phases
+  aggregate per slash-joined path (``bt.round/choke``) with wall + CPU
+  time and *self* wall (wall minus time attributed to child phases), and
+  feed a bounded span log for Chrome-trace export
+  (:mod:`repro.obs.chrome_trace`).
+* :meth:`Profiler.observe_event` — allocation-free per-label aggregation
+  for the engine's event dispatch loop (thousands of events per run; a
+  span each would swamp the log).
+* :meth:`Profiler.observe_kernel` — per-kernel invocation duration
+  histograms (log-spaced buckets + deterministic reservoir quantiles)
+  for the maxflow kernel twins.
+
+The maxflow kernels live far below the :class:`~repro.obs.Observability`
+bundle, so they find the profiler through a module-level hook: wrap the
+run in :func:`activate` (the CLI and the parallel workers do) and
+decorated kernels check ``ACTIVE`` — one module-attribute load plus a
+``None`` test per call when profiling is off, the same cost class as the
+existing ``KERNEL_INVOCATIONS`` counter increment.
+
+Snapshots are JSON-safe dicts; :meth:`Profiler.merge_snapshot` folds a
+worker's snapshot into the parent in task order, so a ``--jobs N`` sweep
+reports fleet-wide phase totals and kernel quantiles.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import Histogram
+
+__all__ = [
+    "ACTIVE",
+    "KERNEL_BOUNDS",
+    "NULL_PROFILER",
+    "NullProfiler",
+    "Profiler",
+    "activate",
+    "set_active_profiler",
+]
+
+#: Log-spaced bucket bounds (seconds) for kernel invocation histograms:
+#: half-decade steps from 1µs to 1s cover a scalar 2-hop lookup through a
+#: full-graph Ford–Fulkerson solve.
+KERNEL_BOUNDS = tuple(10.0 ** (e / 2.0) for e in range(-12, 1))
+
+#: Span-log cap: at ~4 phases per round a week-long paper run stays well
+#: under this; beyond it spans are counted but dropped (aggregates are
+#: unaffected).
+DEFAULT_MAX_SPANS = 32768
+
+
+class _Agg:
+    """One aggregation cell (a phase path or an event label)."""
+
+    __slots__ = ("count", "wall", "cpu", "self_wall", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.wall = 0.0
+        self.cpu = 0.0
+        self.self_wall = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def add(self, wall: float, cpu: float, self_wall: float) -> None:
+        self.count += 1
+        self.wall += wall
+        self.cpu += cpu
+        self.self_wall += self_wall
+        if wall < self.min:
+            self.min = wall
+        if wall > self.max:
+            self.max = wall
+
+    def merge(self, snap: dict) -> None:
+        count = int(snap.get("count") or 0)
+        if count <= 0:
+            return
+        self.count += count
+        self.wall += float(snap.get("wall_s") or 0.0)
+        self.cpu += float(snap.get("cpu_s") or 0.0)
+        self.self_wall += float(snap.get("self_wall_s") or 0.0)
+        lo, hi = snap.get("min_s"), snap.get("max_s")
+        if lo is not None and lo < self.min:
+            self.min = float(lo)
+        if hi is not None and hi > self.max:
+            self.max = float(hi)
+
+    def snapshot(self) -> dict:
+        return {
+            "count": self.count,
+            "wall_s": self.wall,
+            "cpu_s": self.cpu,
+            "self_wall_s": self.self_wall,
+            "min_s": self.min if self.count else None,
+            "max_s": self.max if self.count else None,
+        }
+
+
+class _Phase:
+    """Stack frame for one :meth:`Profiler.phase` activation."""
+
+    __slots__ = ("_profiler", "name", "path", "depth", "t0", "c0", "child_wall")
+
+    def __init__(self, profiler: "Profiler", name: str) -> None:
+        self._profiler = profiler
+        self.name = name
+        self.path = name
+        self.depth = 0
+        self.t0 = 0.0
+        self.c0 = 0.0
+        self.child_wall = 0.0
+
+    def __enter__(self) -> "_Phase":
+        prof = self._profiler
+        stack = prof._stack
+        if stack:
+            parent = stack[-1]
+            self.path = parent.path + "/" + self.name
+            self.depth = parent.depth + 1
+        stack.append(self)
+        self.t0 = time.perf_counter()
+        self.c0 = time.process_time()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        wall = time.perf_counter() - self.t0
+        cpu = time.process_time() - self.c0
+        prof = self._profiler
+        prof._stack.pop()
+        if prof._stack:
+            prof._stack[-1].child_wall += wall
+        agg = prof._phases.get(self.path)
+        if agg is None:
+            agg = prof._phases[self.path] = _Agg()
+        agg.add(wall, cpu, wall - self.child_wall)
+        prof._log_span(self.path, self.depth, self.t0, wall)
+
+
+class Profiler:
+    """Phase/event/kernel wall+CPU aggregator with a bounded span log."""
+
+    enabled = True
+
+    def __init__(self, max_spans: int = DEFAULT_MAX_SPANS) -> None:
+        self._stack: List[_Phase] = []
+        self._phases: Dict[str, _Agg] = {}
+        self._events: Dict[str, _Agg] = {}
+        self._kernels: Dict[str, Histogram] = {}
+        self._t0 = time.perf_counter()
+        self._max_spans = max_spans
+        #: ``(path, depth, start_offset_s, dur_s)`` per completed phase,
+        #: oldest first, capped at ``max_spans``.
+        self.spans: List[tuple] = []
+        self.spans_dropped = 0
+
+    # -- observation ---------------------------------------------------
+
+    def phase(self, name: str) -> _Phase:
+        """A nestable timing context; ``with profiler.phase("choke"): ...``."""
+        return _Phase(self, name)
+
+    def observe_event(self, label: str, duration: float) -> None:
+        """Aggregate one engine-dispatch callback (no span log entry)."""
+        agg = self._events.get(label)
+        if agg is None:
+            agg = self._events[label] = _Agg()
+        agg.add(duration, 0.0, duration)
+
+    def observe_kernel(self, name: str, duration: float) -> None:
+        """Record one maxflow kernel invocation duration."""
+        hist = self._kernels.get(name)
+        if hist is None:
+            hist = self._kernels[name] = Histogram(
+                f"prof.kernel.{name}", bounds=KERNEL_BOUNDS
+            )
+        hist.observe(duration)
+
+    def _log_span(self, path: str, depth: int, t0: float, dur: float) -> None:
+        if len(self.spans) < self._max_spans:
+            self.spans.append((path, depth, t0 - self._t0, dur))
+        else:
+            self.spans_dropped += 1
+
+    # -- snapshot / merge ----------------------------------------------
+
+    def snapshot(self, include_spans: bool = False) -> dict:
+        """JSON-safe aggregate view (spans opt-in: they are bulky and
+        worker span clocks are not comparable across processes)."""
+        out = {
+            "phases": {p: a.snapshot() for p, a in sorted(self._phases.items())},
+            "events": {l: a.snapshot() for l, a in sorted(self._events.items())},
+            "kernels": {
+                name: hist.snapshot(include_reservoir=True)
+                for name, hist in sorted(self._kernels.items())
+            },
+            "spans_dropped": self.spans_dropped,
+        }
+        if include_spans:
+            out["spans"] = [list(span) for span in self.spans]
+        return out
+
+    def merge_snapshot(self, snap: Optional[dict]) -> None:
+        """Fold a worker's :meth:`snapshot` into this profiler.
+
+        Call in deterministic (task) order: kernel histogram reservoirs
+        merge through the same seeded path as
+        :meth:`~repro.obs.metrics.Histogram.merge_snapshot_dict`.
+        """
+        if not snap:
+            return
+        for path, sub in snap.get("phases", {}).items():
+            agg = self._phases.get(path)
+            if agg is None:
+                agg = self._phases[path] = _Agg()
+            agg.merge(sub)
+        for label, sub in snap.get("events", {}).items():
+            agg = self._events.get(label)
+            if agg is None:
+                agg = self._events[label] = _Agg()
+            agg.merge(sub)
+        for name, sub in snap.get("kernels", {}).items():
+            hist = self._kernels.get(name)
+            if hist is None:
+                hist = self._kernels[name] = Histogram(
+                    f"prof.kernel.{name}", bounds=sub.get("bounds") or KERNEL_BOUNDS
+                )
+            hist.merge_snapshot_dict(sub)
+        self.spans_dropped += int(snap.get("spans_dropped") or 0)
+
+    def summary(self) -> dict:
+        """Aggregates-only view for the run manifest (never spans)."""
+        return self.snapshot(include_spans=False)
+
+
+class NullProfiler(Profiler):
+    """Disabled profiler: every hook is a no-op, snapshots are empty."""
+
+    enabled = False
+
+    def phase(self, name: str):  # pragma: no cover - trivial
+        raise RuntimeError(
+            "NullProfiler.phase called; guard call sites with profiler.enabled"
+        )
+
+    def observe_event(self, label: str, duration: float) -> None:
+        pass
+
+    def observe_kernel(self, name: str, duration: float) -> None:
+        pass
+
+    def merge_snapshot(self, snap: Optional[dict]) -> None:
+        pass
+
+
+#: Shared disabled profiler (the :data:`repro.obs.NULL_OBS` leg).
+NULL_PROFILER = NullProfiler()
+
+#: The process-wide profiler the maxflow kernels report to, or ``None``.
+#: Kernels read this directly (module attribute + ``None`` check) so the
+#: hot scalar path pays nothing measurable when profiling is off.
+ACTIVE: Optional[Profiler] = None
+
+
+def set_active_profiler(profiler: Optional[Profiler]) -> None:
+    """Install ``profiler`` as the kernel-level hook (``None`` clears)."""
+    global ACTIVE
+    ACTIVE = profiler if profiler is not None and profiler.enabled else None
+
+
+@contextmanager
+def activate(profiler: Optional[Profiler]):
+    """Scope ``profiler`` as the active kernel hook; restores the prior
+    hook on exit.  A disabled/``None`` profiler makes this a no-op guard,
+    so callers can wrap unconditionally."""
+    global ACTIVE
+    previous = ACTIVE
+    set_active_profiler(profiler)
+    try:
+        yield profiler
+    finally:
+        ACTIVE = previous

@@ -1,4 +1,4 @@
-"""Human-readable summary of a run's metrics.
+"""Human-readable summary of a run's metrics and profile.
 
 ``render_report`` turns a :class:`~repro.obs.metrics.MetricsRegistry`
 snapshot into the terminal summary the CLI prints under ``--metrics``:
@@ -6,20 +6,33 @@ the top timers by total wall time, message/transfer counters by name,
 a network section for the fault channel's delivery telemetry (hidden
 when the run had no channel faults), derived rates (reputation-cache
 hit rate, events per second), and the maxflow kernel invocation counts.
+
+The rendering core works off the plain snapshot dict, so the same code
+also renders *stored* runs: ``render_manifest_report`` takes a loaded
+``run_manifest.json`` document (``repro report``) and replays the
+metrics summary plus the profile and timeseries sections, if the run
+recorded them.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.analysis.ascii_plot import render_table
 from repro.obs.metrics import MetricsRegistry
 
-__all__ = ["render_report"]
+__all__ = [
+    "render_manifest_report",
+    "render_metrics_snapshot",
+    "render_profile",
+    "render_report",
+]
 
 
-def _fmt_seconds(seconds: float) -> str:
-    if seconds != seconds:  # NaN: e.g. quantiles of merged worker snapshots
+def _fmt_seconds(seconds) -> str:
+    # None (zero-sample histogram) and NaN (quantiles of merged worker
+    # snapshots without reservoirs) both render as "-".
+    if seconds is None or seconds != seconds:
         return "-"
     if seconds >= 1.0:
         return f"{seconds:.2f}s"
@@ -45,14 +58,35 @@ def render_report(
     """
     if not registry.enabled:
         return "== Metrics ==\n(observability disabled; run with --metrics)"
-    snap = registry.snapshot()
+    return render_metrics_snapshot(
+        registry.snapshot(), top_timers=top_timers, wall_seconds=wall_seconds
+    )
+
+
+def _value(snap: Dict[str, dict], name: str) -> float:
+    entry = snap.get(name)
+    if not entry:
+        return 0.0
+    return float(entry.get("value") or 0.0)
+
+
+def render_metrics_snapshot(
+    snap: Dict[str, dict],
+    top_timers: int = 10,
+    wall_seconds: Optional[float] = None,
+) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` dict (live or stored)."""
     lines: List[str] = ["== Metrics =="]
 
     timers = {
-        name: s for name, s in snap.items() if s["type"] in ("timer", "histogram") and s["count"]
+        name: s
+        for name, s in snap.items()
+        if s.get("type") in ("timer", "histogram") and s.get("count")
     }
     if timers:
-        ranked = sorted(timers.items(), key=lambda kv: -kv[1]["total"])[:top_timers]
+        ranked = sorted(
+            timers.items(), key=lambda kv: -(kv[1].get("total") or 0.0)
+        )[:top_timers]
         lines.append("-- top timers (by total wall time) --")
         lines.append(
             render_table(
@@ -61,10 +95,10 @@ def render_report(
                     (
                         name,
                         s["count"],
-                        _fmt_seconds(s["total"]),
-                        _fmt_seconds(s["mean"]),
-                        _fmt_seconds(s["p95"]),
-                        _fmt_seconds(s["max"]),
+                        _fmt_seconds(s.get("total")),
+                        _fmt_seconds(s.get("mean")),
+                        _fmt_seconds(s.get("p95")),
+                        _fmt_seconds(s.get("max")),
                     )
                     for name, s in ranked
                 ],
@@ -72,9 +106,9 @@ def render_report(
             )
         )
 
-    counters = {name: s for name, s in snap.items() if s["type"] == "counter"}
-    gauges = {name: s for name, s in snap.items() if s["type"] == "gauge"}
-    scalars = {**counters, **gauges}
+    scalars = {
+        name: s for name, s in snap.items() if s.get("type") in ("counter", "gauge")
+    }
     if scalars:
         lines.append("-- counters --")
         lines.append(
@@ -86,7 +120,7 @@ def render_report(
         )
 
     net_rows = [
-        (label, registry.value(f"net.{label}"))
+        (label, _value(snap, f"net.{label}"))
         for label in ("delivered", "dropped", "duplicated", "delayed")
     ]
     if any(value for _, value in net_rows):
@@ -105,15 +139,12 @@ def render_report(
             lines.append(f"delivery rate: {delivered / offered:.1%} of offered gossip")
 
     derived: List[str] = []
-    hits = registry.value("rep.cache.hits")
-    misses = registry.value("rep.cache.misses")
+    hits = _value(snap, "rep.cache.hits")
+    misses = _value(snap, "rep.cache.misses")
     if hits + misses > 0:
         derived.append(f"reputation cache hit rate: {hits / (hits + misses):.1%}")
-    events = registry.value("sim.events")
-    dispatch = registry.get("sim.dispatch_s")
-    total_dispatch = (
-        dispatch.snapshot().get("total") if dispatch is not None else None
-    )
+    events = _value(snap, "sim.events")
+    total_dispatch = (snap.get("sim.dispatch_s") or {}).get("total")
     if events:
         if total_dispatch:
             derived.append(
@@ -124,8 +155,8 @@ def render_report(
             derived.append(
                 f"engine: {events:,.0f} events, {events / wall_seconds:,.0f} events/sec wall"
             )
-    kernel_calls = registry.value("rep.kernel.calls")
-    kernel_targets = registry.value("rep.kernel.targets")
+    kernel_calls = _value(snap, "rep.kernel.calls")
+    kernel_targets = _value(snap, "rep.kernel.targets")
     if kernel_calls:
         derived.append(
             f"maxflow kernel: {kernel_calls:,.0f} invocations, "
@@ -136,4 +167,184 @@ def render_report(
         lines.extend(derived)
     if len(lines) == 1:
         lines.append("(no metrics recorded)")
+    return "\n".join(lines)
+
+
+def render_profile(profile: dict, top: int = 12) -> str:
+    """Render a :meth:`~repro.obs.profile.Profiler.summary` dict."""
+    lines: List[str] = ["== Profile =="]
+    phases = profile.get("phases") or {}
+    if phases:
+        ranked = sorted(
+            phases.items(), key=lambda kv: -(kv[1].get("wall_s") or 0.0)
+        )[:top]
+        lines.append("-- phases (by total wall time) --")
+        lines.append(
+            render_table(
+                ["phase", "calls", "wall", "self", "cpu", "max"],
+                [
+                    (
+                        path,
+                        s.get("count", 0),
+                        _fmt_seconds(s.get("wall_s")),
+                        _fmt_seconds(s.get("self_wall_s")),
+                        _fmt_seconds(s.get("cpu_s")),
+                        _fmt_seconds(s.get("max_s")),
+                    )
+                    for path, s in ranked
+                ],
+                "{}",
+            )
+        )
+    events = profile.get("events") or {}
+    if events:
+        ranked = sorted(
+            events.items(), key=lambda kv: -(kv[1].get("wall_s") or 0.0)
+        )[:top]
+        lines.append("-- engine events (by total dispatch time) --")
+        lines.append(
+            render_table(
+                ["event", "fired", "total", "max"],
+                [
+                    (
+                        label,
+                        s.get("count", 0),
+                        _fmt_seconds(s.get("wall_s")),
+                        _fmt_seconds(s.get("max_s")),
+                    )
+                    for label, s in ranked
+                ],
+                "{}",
+            )
+        )
+    kernels = profile.get("kernels") or {}
+    kernel_rows = [
+        (
+            name,
+            s.get("count", 0),
+            _fmt_seconds(s.get("total")),
+            _fmt_seconds(s.get("p50")),
+            _fmt_seconds(s.get("p95")),
+            _fmt_seconds(s.get("max")),
+        )
+        for name, s in sorted(kernels.items())
+        if s.get("count")
+    ]
+    if kernel_rows:
+        lines.append("-- maxflow kernels (per-invocation durations) --")
+        lines.append(
+            render_table(
+                ["kernel", "calls", "total", "p50", "p95", "max"],
+                kernel_rows,
+                "{}",
+            )
+        )
+    dropped = profile.get("spans_dropped") or 0
+    if dropped:
+        lines.append(f"(span log full: {dropped:,} spans dropped; aggregates complete)")
+    if len(lines) == 1:
+        lines.append("(no profile recorded)")
+    return "\n".join(lines)
+
+
+def _render_timeseries_summary(ts: dict) -> str:
+    lines = ["== Timeseries =="]
+    series = ts.get("series") or []
+    rows = []
+    for entry in series:
+        final = entry.get("final") or {}
+        rows.append(
+            (
+                entry.get("label", "?"),
+                entry.get("samples", 0),
+                f"{final.get('coverage', float('nan')):.3f}"
+                if "coverage" in final
+                else "-",
+                f"{final.get('rank_inversion_rate', float('nan')):.3f}"
+                if "rank_inversion_rate" in final
+                else "-",
+                f"{final.get('cache_hit_rate', float('nan')):.3f}"
+                if "cache_hit_rate" in final
+                else "-",
+            )
+        )
+    if rows:
+        lines.append(
+            render_table(
+                ["series", "samples", "final cov", "final inv", "final hit"],
+                rows,
+                "{}",
+            )
+        )
+    else:
+        lines.append("(no series recorded)")
+    return "\n".join(lines)
+
+
+def render_manifest_report(doc: dict) -> str:
+    """Render a stored ``run_manifest.json`` document (``repro report``).
+
+    Every section is optional: a manifest from a plain run (no
+    ``--metrics``/``--prof``/``--timeseries``) still renders the header
+    and phase table; missing provenance totals, an absent network
+    section, and zero-sample histograms all degrade to placeholders
+    rather than raising.
+    """
+    lines: List[str] = []
+    header = f"== Run: {doc.get('command', '?')} =="
+    lines.append(header)
+    facts = [
+        ("profile", doc.get("profile")),
+        ("seed", doc.get("seed")),
+        ("package", doc.get("package_version")),
+        ("git", doc.get("git_rev")),
+        ("wall", _fmt_seconds(doc.get("wall_seconds_total"))),
+    ]
+    lines.append(
+        " · ".join(f"{k} {v}" for k, v in facts if v is not None)
+    )
+    phases = doc.get("wall_seconds_by_phase") or {}
+    if phases:
+        lines.append("-- wall time by phase --")
+        lines.append(
+            render_table(
+                ["phase", "wall"],
+                [
+                    (name, _fmt_seconds(seconds))
+                    for name, seconds in sorted(
+                        phases.items(), key=lambda kv: -kv[1]
+                    )
+                ],
+                "{}",
+            )
+        )
+    extra = doc.get("extra") or {}
+    prov = extra.get("provenance")
+    if prov:
+        lines.append("-- provenance totals --")
+        lines.append(
+            render_table(
+                ["counter", "value"],
+                [(k, f"{v:,}") for k, v in sorted(prov.items())],
+                "{}",
+            )
+        )
+    metrics = doc.get("metrics")
+    if metrics:
+        lines.append("")
+        lines.append(render_metrics_snapshot(metrics))
+    profile = extra.get("profile")
+    if profile:
+        lines.append("")
+        lines.append(render_profile(profile))
+    ts = extra.get("timeseries")
+    if ts:
+        lines.append("")
+        lines.append(_render_timeseries_summary(ts))
+    parallel = extra.get("parallel")
+    if parallel and isinstance(parallel, dict):
+        lines.append(
+            f"parallel: mode {parallel.get('mode')}, jobs {parallel.get('jobs')}, "
+            f"{len(parallel.get('tasks') or [])} tasks"
+        )
     return "\n".join(lines)

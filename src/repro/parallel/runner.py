@@ -23,7 +23,11 @@ Scheduling and robustness:
 * **Truthful counters** — each worker ships home its maxflow kernel
   counter delta and (when the parent collects metrics) its metrics
   snapshot; the parent folds both in, so manifests report the same
-  totals a serial run would.
+  totals a serial run would.  Timeseries recordings and profiler
+  snapshots ride the same channel and merge in task order.
+* **Live monitoring** — the pool writes best-effort heartbeat files
+  into a spool directory (:mod:`repro.obs.monitor`) for ``repro
+  monitor``; the spool never feeds back into results.
 
 Tracing cannot cross the process boundary (one JSONL file, one emitter),
 so a live tracer forces the inline path; the CLI surfaces a notice.
@@ -41,6 +45,11 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.graph.maxflow import merge_kernel_invocations
 from repro.obs import NULL_OBS, Observability
+from repro.obs.monitor import (
+    SweepMonitorWriter,
+    resolve_monitor_dir,
+    write_worker_heartbeat,
+)
 from repro.parallel.tasks import SweepTask, TaskResult, execute_task
 
 __all__ = ["ParallelRunner", "SweepError", "run_sweep"]
@@ -71,9 +80,25 @@ class SweepError(RuntimeError):
         )
 
 
-def _worker_run(task: SweepTask, with_metrics: bool) -> TaskResult:
+def _worker_run(
+    task: SweepTask,
+    with_metrics: bool,
+    ts_config=None,
+    with_profile: bool = False,
+    heartbeat_dir: Optional[str] = None,
+) -> TaskResult:
     """Module-level worker entry point (must be picklable by the pool)."""
-    return execute_task(task, collect_metrics=with_metrics)
+    if heartbeat_dir is not None:
+        write_worker_heartbeat(heartbeat_dir, task.task_id, "running")
+    result = execute_task(
+        task,
+        collect_metrics=with_metrics,
+        timeseries=ts_config,
+        collect_profile=with_profile,
+    )
+    if heartbeat_dir is not None:
+        write_worker_heartbeat(heartbeat_dir, task.task_id, "done")
+    return result
 
 
 @dataclass
@@ -102,11 +127,17 @@ class ParallelRunner:
         re-submitted before the sweep fails.
     obs:
         The parent observability bundle.  Live metrics turn on worker
-        snapshot collection and merging; a live tracer forces inline
-        execution.
+        snapshot collection and merging; a live timeseries collector or
+        profiler likewise rides along (workers record against fresh local
+        instances, shipped home and merged in task order); a live tracer
+        forces inline execution.
     mp_start:
         Multiprocessing start method; ``fork`` where available (cheap,
         inherits the warm interpreter), else the platform default.
+    monitor_dir:
+        Spool directory for live sweep monitoring (``repro monitor``).
+        ``None`` uses the default per-user directory; the writer is
+        best-effort and never affects results.
     """
 
     def __init__(
@@ -116,6 +147,7 @@ class ParallelRunner:
         retries: int = 1,
         obs: Optional[Observability] = None,
         mp_start: Optional[str] = None,
+        monitor_dir: Optional[str] = None,
     ) -> None:
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -126,6 +158,7 @@ class ParallelRunner:
         self.retries = int(retries)
         self.obs = obs if obs is not None else NULL_OBS
         self.mp_start = mp_start
+        self.monitor_dir = monitor_dir
         #: Partition/bookkeeping record of the most recent :meth:`run`
         #: (feeds the run manifest's ``parallel`` note).
         self.last_run_info: Dict[str, Any] = {}
@@ -183,6 +216,13 @@ class ParallelRunner:
 
     def _run_pool(self, tasks: List[SweepTask]) -> List[TaskResult]:
         with_metrics = self.obs.metrics.enabled
+        ts_config = (
+            self.obs.timeseries.config if self.obs.timeseries.enabled else None
+        )
+        with_profile = self.obs.profiler.enabled
+        heartbeat_dir = str(resolve_monitor_dir(self.monitor_dir))
+        monitor = SweepMonitorWriter(heartbeat_dir)
+        monitor.start(total=len(tasks), jobs=self.jobs)
         results: Dict[int, TaskResult] = {}
         failures: List[Tuple[SweepTask, str]] = []
         work = deque((i, task, task.attempt) for i, task in enumerate(tasks))
@@ -208,7 +248,12 @@ class ParallelRunner:
                     if executor is None:
                         executor = self._make_executor()
                     fut = executor.submit(
-                        _worker_run, task.with_attempt(attempt), with_metrics
+                        _worker_run,
+                        task.with_attempt(attempt),
+                        with_metrics,
+                        ts_config,
+                        with_profile,
+                        heartbeat_dir,
                     )
                     inflight[fut] = _Inflight(index, task, attempt, time.monotonic())
                 wait_timeout = None if self.timeout_s is None else _POLL_S
@@ -220,6 +265,7 @@ class ParallelRunner:
                     item = inflight.pop(fut)
                     try:
                         results[item.index] = fut.result()
+                        monitor.task_done(item.task.task_id, len(results))
                     except BrokenExecutor:
                         rebuild = True
                         fail_or_retry(
@@ -258,6 +304,7 @@ class ParallelRunner:
                 executor.shutdown(wait=True, cancel_futures=True)
 
         if failures:
+            monitor.finish("failed")
             raise SweepError(failures, results)
 
         ordered = [results[i] for i in range(len(tasks))]
@@ -268,6 +315,11 @@ class ParallelRunner:
                 merge_kernel_invocations(result.kernel_delta)
             if with_metrics and result.metrics:
                 self.obs.metrics.merge_snapshot(result.metrics)
+            if ts_config is not None and result.timeseries:
+                self.obs.timeseries.merge(result.timeseries)
+            if with_profile and result.profile:
+                self.obs.profiler.merge_snapshot(result.profile)
+        monitor.finish("done")
         self._set_info({
             "mode": "pool",
             "jobs": self.jobs,

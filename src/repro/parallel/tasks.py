@@ -32,7 +32,7 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.graph.maxflow import kernel_invocations_delta, snapshot_kernel_invocations
 from repro.obs import NULL_OBS, Observability
@@ -102,6 +102,12 @@ class TaskResult:
     worker_pid: int = 0
     elapsed_s: float = 0.0
     attempt: int = 0
+    #: Convergence time-series snapshots recorded by this task's
+    #: simulations (``TimeSeriesRecorder.to_dict`` dicts), when the
+    #: worker ran with a timeseries config.
+    timeseries: Optional[List[dict]] = None
+    #: Worker profiler snapshot (phases/events/kernels), when profiling.
+    profile: Optional[Dict[str, Any]] = None
 
 
 # ----------------------------------------------------------------------
@@ -220,35 +226,71 @@ def execute_task(
     task: SweepTask,
     obs: Optional[Observability] = None,
     collect_metrics: bool = False,
+    timeseries=None,
+    collect_profile: bool = False,
 ) -> TaskResult:
     """Execute one task in this process and wrap the payload.
 
-    ``collect_metrics=True`` (the worker path when the parent has live
-    metrics) runs the task against a fresh local registry and ships its
-    snapshot home; otherwise the provided ``obs`` (e.g. the parent's own
-    bundle, on the inline path) is threaded straight through.
+    The ``collect_*``/``timeseries`` knobs form the worker path: when any
+    is set, the task runs against a fresh local bundle (a new registry /
+    profiler / timeseries collector mirroring the parent's enabled legs)
+    and ships the snapshots home with the result, to be merged in task
+    order.  Otherwise the provided ``obs`` (e.g. the parent's own bundle,
+    on the inline path) is threaded straight through.  ``timeseries`` is
+    the parent's :class:`~repro.obs.timeseries.TimeSeriesConfig` (or
+    ``None`` for off).
     """
-    if collect_metrics:
-        from repro.obs import MetricsRegistry
+    collect = collect_metrics or timeseries is not None or collect_profile
+    if collect:
+        from repro.obs import (
+            NULL_METRICS,
+            NULL_PROFILER,
+            NULL_TIMESERIES,
+            MetricsRegistry,
+            Profiler,
+            TimeSeriesCollector,
+        )
 
-        obs = Observability(metrics=MetricsRegistry())
+        obs = Observability(
+            metrics=MetricsRegistry() if collect_metrics else NULL_METRICS,
+            timeseries=(
+                TimeSeriesCollector(timeseries)
+                if timeseries is not None
+                else NULL_TIMESERIES
+            ),
+            profiler=Profiler() if collect_profile else NULL_PROFILER,
+        )
     elif obs is None:
         obs = NULL_OBS
+    if obs.timeseries.enabled:
+        obs.timeseries.begin_task(task.task_id)
     executor = EXECUTORS.get(task.experiment)
     if executor is None:
         raise KeyError(f"no executor registered for experiment {task.experiment!r}")
     baseline = snapshot_kernel_invocations()
     t0 = time.perf_counter()
-    payload = executor(task, obs)
+    if obs.profiler.enabled:
+        from repro.obs.profile import activate
+
+        with activate(obs.profiler):
+            payload = executor(task, obs)
+    else:
+        payload = executor(task, obs)
     elapsed = time.perf_counter() - t0
     return TaskResult(
         task_id=task.task_id,
         payload=payload,
         kernel_delta=kernel_invocations_delta(baseline),
-        metrics=obs.metrics.snapshot() if collect_metrics else None,
+        # Reservoirs ride along so the parent's merged quantiles are real
+        # (exact in the complete-reservoir regime; see Histogram).
+        metrics=obs.metrics.snapshot(include_reservoir=True)
+        if collect_metrics
+        else None,
         worker_pid=os.getpid(),
         elapsed_s=elapsed,
         attempt=task.attempt,
+        timeseries=obs.timeseries.series() if collect and obs.timeseries.enabled else None,
+        profile=obs.profiler.snapshot() if collect and obs.profiler.enabled else None,
     )
 
 

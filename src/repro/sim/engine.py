@@ -139,7 +139,13 @@ class Simulator:
         self._t_dispatch = metrics.timer("sim.dispatch_s") if metrics.enabled else None
         tracer = self.obs.tracer
         self._tr_event = tracer.category("sim.event") if tracer.enabled else None
-        self._instrumented = self._m_events is not None or self._tr_event is not None
+        profiler = self.obs.profiler
+        self._profiler = profiler if profiler.enabled else None
+        self._instrumented = (
+            self._m_events is not None
+            or self._tr_event is not None
+            or self._profiler is not None
+        )
 
     # ------------------------------------------------------------------
     # Introspection
@@ -274,12 +280,18 @@ class Simulator:
         return fired
 
     def _dispatch_instrumented(self, event: Event) -> None:
-        """Dispatch one callback with metrics/trace instrumentation."""
-        if self._m_events is not None:
-            self._m_events.inc()
+        """Dispatch one callback with metrics/trace/profile instrumentation."""
+        prof = self._profiler
+        if self._m_events is not None or prof is not None:
+            if self._m_events is not None:
+                self._m_events.inc()
             t0 = _time.perf_counter()
             event.callback()
-            self._t_dispatch.observe(_time.perf_counter() - t0)
+            duration = _time.perf_counter() - t0
+            if self._t_dispatch is not None:
+                self._t_dispatch.observe(duration)
+            if prof is not None:
+                prof.observe_event(event.label or "event", duration)
         else:
             event.callback()
         cat = self._tr_event

@@ -97,3 +97,102 @@ class TestNewSubcommands:
         monkeypatch.setattr(cli, "_fig4", fake_fig4)
         assert cli.main(["all", "--seed", "3", "--fig4-peers", "123"]) == 0
         assert seen["peers"] == 123
+
+
+class TestTelemetryFlags:
+    def test_timeseries_and_prof_export_artifacts(self, capsys, tmp_path):
+        assert cli.main([
+            "fig1", "--seed", "3", "--timeseries", "--prof", "--metrics",
+            "--export", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "== Profile ==" in out
+        assert (tmp_path / "run_manifest.json").exists()
+        assert (tmp_path / "timeseries.json").exists()
+        assert (tmp_path / "profile_chrome.json").exists()
+        csvs = list(tmp_path.glob("timeseries_*.csv"))
+        assert len(csvs) == 1
+        header = csvs[0].read_text().splitlines()[0]
+        assert header.startswith("t,coverage,rank_inversion_rate")
+        import json
+
+        doc = json.loads((tmp_path / "run_manifest.json").read_text())
+        assert "timeseries" in doc["extra"] and "profile" in doc["extra"]
+
+    def test_timeseries_cadence_value(self, capsys, tmp_path):
+        assert cli.main([
+            "fig1", "--seed", "3", "--timeseries", "7200",
+            "--export", str(tmp_path),
+        ]) == 0
+        csvs = list(tmp_path.glob("timeseries_*.csv"))
+        rows = csvs[0].read_text().strip().splitlines()[1:]
+        assert float(rows[0].split(",")[0]) == 7200.0
+
+
+class TestReportSubcommand:
+    def test_report_from_export_dir(self, capsys, tmp_path):
+        assert cli.main([
+            "fig1", "--seed", "3", "--metrics", "--export", str(tmp_path),
+        ]) == 0
+        capsys.readouterr()
+        assert cli.main(["report", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "== Run: fig1 ==" in out
+        assert "== Metrics ==" in out
+
+    def test_report_from_bare_manifest_path(self, capsys, tmp_path):
+        assert cli.main([
+            "fig1", "--seed", "3", "--export", str(tmp_path),
+        ]) == 0
+        capsys.readouterr()
+        manifest = tmp_path / "run_manifest.json"
+        assert cli.main(["report", str(manifest)]) == 0
+        assert "== Run: fig1 ==" in capsys.readouterr().out
+
+    def test_report_schema_mismatch_readable(self, capsys, tmp_path):
+        bad = tmp_path / "run_manifest.json"
+        bad.write_text('{"schema": "something/v99"}')
+        assert cli.main(["report", str(bad)]) == 2
+        err = capsys.readouterr().err
+        assert "something/v99" in err and "Traceback" not in err
+
+    def test_report_missing_path(self, capsys, tmp_path):
+        assert cli.main(["report", str(tmp_path / "nope")]) == 2
+        assert "no run manifest" in capsys.readouterr().err
+
+
+class TestMonitorSubcommand:
+    def test_monitor_once_no_sweep(self, capsys, tmp_path):
+        assert cli.main(["monitor", str(tmp_path), "--once"]) == 2
+        assert "no sweep found" in capsys.readouterr().out
+
+    def test_monitor_once_after_sweep(self, capsys, tmp_path):
+        assert cli.main([
+            "fig2", "--seed", "3", "--jobs", "2",
+            "--monitor-dir", str(tmp_path),
+        ]) == 0
+        capsys.readouterr()
+        assert cli.main(["monitor", str(tmp_path), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "tasks (100%)" in out
+        assert "worker" in out
+
+
+class TestChromeTraceSubcommand:
+    def test_convert_trace(self, capsys, tmp_path):
+        trace = tmp_path / "run.jsonl"
+        assert cli.main([
+            "fig1", "--seed", "3", "--trace", str(trace),
+        ]) == 0
+        capsys.readouterr()
+        out_path = tmp_path / "run.chrome.json"
+        assert cli.main(["chrome-trace", str(trace)]) == 0
+        assert out_path.exists()
+        import json
+
+        doc = json.loads(out_path.read_text())
+        assert doc["traceEvents"]
+
+    def test_missing_trace_errors(self, capsys, tmp_path):
+        assert cli.main(["chrome-trace", str(tmp_path / "missing.jsonl")]) == 2
+        assert "error:" in capsys.readouterr().err

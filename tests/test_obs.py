@@ -400,3 +400,153 @@ class TestLazyTraceAttrs:
         cat = NULL_TRACER.category("anything")
         assert cat.sample() is False
         cat.emit_sampled("never", 0.0)  # must be a harmless no-op
+
+
+class TestHistogramReservoirMerge:
+    """Satellite of the telemetry PR: merged worker reservoirs give real
+    quantiles instead of NaN placeholders."""
+
+    def test_snapshot_reservoir_opt_in(self):
+        h = MetricsRegistry().histogram("lat")
+        h.observe(1.0)
+        assert "reservoir" not in h.snapshot()
+        assert h.snapshot(include_reservoir=True)["reservoir"] == [1.0]
+
+    def test_merged_quantiles_exact_in_complete_regime(self):
+        """Worker counts below the reservoir size merge exactly: the
+        parent's quantiles equal a serial run over the union stream."""
+        serial = MetricsRegistry().histogram("lat")
+        parent = MetricsRegistry().histogram("lat")
+        rng_values = [
+            [float((7 * i + w) % 101) for i in range(300)] for w in range(3)
+        ]
+        for w, values in enumerate(rng_values):
+            worker = MetricsRegistry().histogram("lat")
+            for v in values:
+                worker.observe(v)
+                serial.observe(v)
+            parent.merge_snapshot_dict(worker.snapshot(include_reservoir=True))
+        for q in (0.1, 0.5, 0.9, 0.95, 0.99):
+            assert parent.quantile(q) == serial.quantile(q)
+        assert parent.count == serial.count == 900
+        assert parent.total == serial.total
+
+    def test_merge_without_reservoir_keeps_exact_scalars(self):
+        parent = MetricsRegistry().histogram("lat")
+        worker = MetricsRegistry().histogram("lat")
+        for v in (1.0, 2.0, 3.0):
+            worker.observe(v)
+        parent.merge_snapshot_dict(worker.snapshot())  # compact snapshot
+        assert parent.count == 3
+        assert parent.total == 6.0
+        assert math.isnan(parent.quantile(0.5))  # no samples shipped
+
+    def test_overfull_merge_bounded_and_deterministic(self):
+        def build():
+            parent = MetricsRegistry().histogram("lat")
+            for w in range(3):
+                worker = MetricsRegistry().histogram("lat")
+                for i in range(600):  # 1800 total > 1024 reservoir size
+                    worker.observe(float((11 * i + w) % 997))
+                parent.merge_snapshot_dict(
+                    worker.snapshot(include_reservoir=True)
+                )
+            return parent
+        a, b = build(), build()
+        assert a.count == 1800
+        assert len(a._reservoir) == a._reservoir_size
+        assert a.quantile(0.5) == b.quantile(0.5)  # name-seeded merge RNG
+        assert 0.0 <= a.quantile(0.5) <= 997.0
+
+    def test_parallel_worker_quantiles_render_in_report(self):
+        """The end-to-end satellite claim: a merged registry's timers
+        render real quantile values, not the '-' placeholder."""
+        parent = MetricsRegistry()
+        worker = MetricsRegistry()
+        for i in range(50):
+            worker.timer("bt.round_s").observe(0.001 * (i + 1))
+        parent.merge_snapshot(worker.snapshot(include_reservoir=True))
+        out = render_report(parent)
+        row = next(l for l in out.splitlines() if "bt.round_s" in l)
+        assert "-" not in row.replace("bt.round_s", "")
+
+
+class TestManifestReport:
+    """repro report: rendering stored manifests, degrading gracefully."""
+
+    def _doc(self, **overrides):
+        doc = {
+            "schema": MANIFEST_SCHEMA,
+            "command": "fig2",
+            "profile": "tiny",
+            "seed": 3,
+            "wall_seconds_total": 2.5,
+            "wall_seconds_by_phase": {"fig2": 2.0, "export": 0.5},
+        }
+        doc.update(overrides)
+        return doc
+
+    def test_minimal_manifest_renders(self):
+        from repro.obs.report import render_manifest_report
+
+        out = render_manifest_report(self._doc())
+        assert "== Run: fig2 ==" in out
+        assert "profile tiny" in out and "seed 3" in out
+        assert "2.00s" in out  # phase table
+
+    def test_missing_provenance_and_network_sections(self):
+        from repro.obs.report import render_manifest_report
+
+        reg = MetricsRegistry()
+        reg.counter("bc.messages_sent").inc(10)
+        out = render_manifest_report(self._doc(metrics=reg.snapshot()))
+        assert "provenance" not in out
+        assert "network" not in out  # no net.* counters -> section hidden
+        assert "bc.messages_sent" in out
+
+    def test_zero_sample_histogram_nan_safe(self):
+        from repro.obs.report import render_metrics_snapshot
+
+        snap = {
+            "empty_s": {"type": "timer", "count": 0, "total": 0.0},
+            "merged_s": {
+                "type": "timer", "count": 5, "total": 1.0,
+                "mean": 0.2, "p95": float("nan"), "max": float("nan"),
+            },
+        }
+        out = render_metrics_snapshot(snap)
+        assert "empty_s" not in out  # zero-count timers are elided
+        row = next(l for l in out.splitlines() if "merged_s" in l)
+        assert "-" in row  # NaN quantiles render as placeholders
+
+    def test_fmt_seconds_none_safe(self):
+        from repro.obs.report import _fmt_seconds
+
+        assert _fmt_seconds(None) == "-"
+        assert _fmt_seconds(float("nan")) == "-"
+        assert _fmt_seconds(1.5) == "1.50s"
+        assert _fmt_seconds(0.0015) == "1.50ms"
+
+    def test_profile_and_timeseries_sections(self):
+        from repro.obs.profile import Profiler
+        from repro.obs.report import render_manifest_report
+
+        prof = Profiler()
+        with prof.phase("bt.round"):
+            pass
+        prof.observe_kernel("maxflow_two_hop_batch", 1e-4)
+        ts = {
+            "interval_s": None,
+            "series": [{
+                "label": "fig2/rank", "samples": 12, "samples_dropped": 0,
+                "final": {"t": 86400.0, "coverage": 0.5,
+                          "rank_inversion_rate": 0.0, "cache_hit_rate": 0.9},
+            }],
+        }
+        out = render_manifest_report(
+            self._doc(extra={"profile": prof.summary(), "timeseries": ts})
+        )
+        assert "== Profile ==" in out
+        assert "bt.round" in out and "maxflow_two_hop_batch" in out
+        assert "== Timeseries ==" in out
+        assert "fig2/rank" in out and "0.500" in out
