@@ -98,35 +98,50 @@ def export_fig4(result: Fig4Result) -> Dict[str, dict]:
     }
 
 
+def _faults_table(pts) -> dict:
+    return _table(
+        [
+            "loss", "churn_per_day", "duplicate", "delay_max_s",
+            "coverage", "false_ban_rate", "rank_inversion_rate",
+            "convergence_time_s",
+            "delivered", "dropped", "duplicated", "delayed",
+            "crashes", "wipes", "audit_violations",
+        ],
+        [
+            np.array([p.loss for p in pts], dtype=float),
+            np.array([p.churn for p in pts], dtype=float),
+            np.array([p.duplicate for p in pts], dtype=float),
+            np.array([p.delay_max for p in pts], dtype=float),
+            np.array([p.coverage for p in pts], dtype=float),
+            np.array([p.false_ban_rate for p in pts], dtype=float),
+            np.array([p.rank_inversion_rate for p in pts], dtype=float),
+            np.array([p.convergence_time for p in pts], dtype=float),
+            np.array([p.messages_delivered for p in pts], dtype=float),
+            np.array([p.messages_dropped for p in pts], dtype=float),
+            np.array([p.messages_duplicated for p in pts], dtype=float),
+            np.array([p.messages_delayed for p in pts], dtype=float),
+            np.array([p.crashes for p in pts], dtype=float),
+            np.array([p.wipes for p in pts], dtype=float),
+            np.array([p.audit_violations for p in pts], dtype=float),
+        ],
+    )
+
+
 def export_faults(result: FaultsResult) -> Dict[str, dict]:
-    """Series for the fault sweep (one row per fault level)."""
-    pts = result.points
-    return {
-        "faults_sweep": _table(
-            [
-                "loss", "churn_per_day", "duplicate", "delay_max_s",
-                "coverage", "false_ban_rate", "rank_inversion_rate",
-                "delivered", "dropped", "duplicated", "delayed",
-                "crashes", "wipes", "audit_violations",
-            ],
-            [
-                np.array([p.loss for p in pts], dtype=float),
-                np.array([p.churn for p in pts], dtype=float),
-                np.array([p.duplicate for p in pts], dtype=float),
-                np.array([p.delay_max for p in pts], dtype=float),
-                np.array([p.coverage for p in pts], dtype=float),
-                np.array([p.false_ban_rate for p in pts], dtype=float),
-                np.array([p.rank_inversion_rate for p in pts], dtype=float),
-                np.array([p.messages_delivered for p in pts], dtype=float),
-                np.array([p.messages_dropped for p in pts], dtype=float),
-                np.array([p.messages_duplicated for p in pts], dtype=float),
-                np.array([p.messages_delayed for p in pts], dtype=float),
-                np.array([p.crashes for p in pts], dtype=float),
-                np.array([p.wipes for p in pts], dtype=float),
-                np.array([p.audit_violations for p in pts], dtype=float),
-            ],
-        )
-    }
+    """Series for the fault sweep (one row per fault level).
+
+    One table per reputation mechanism in the sweep.  The default
+    engine keeps the historical ``faults_sweep`` table name (existing
+    tooling keeps working); rival mechanisms land in
+    ``faults_sweep_<engine>``.  Numeric-only columns, so the writer's
+    float formatting applies to every cell — the engine is in the table
+    name, not a string column.
+    """
+    out: Dict[str, dict] = {}
+    for engine in result.engines:
+        name = "faults_sweep" if engine == "bartercast" else f"faults_sweep_{engine}"
+        out[name] = _faults_table(result.points_for(engine))
+    return out
 
 
 def write_series(

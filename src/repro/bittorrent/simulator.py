@@ -100,6 +100,13 @@ class CommunitySimulator:
         after the run via :mod:`repro.obs.explain`.  Recording consumes
         no simulation RNG and never feeds back into behaviour, so
         results are bit-identical either way (pinned by test).
+    engine:
+        Reputation mechanism every node runs (DESIGN.md §15):
+        ``"bartercast"`` (default, byte-identical native path),
+        ``"gossip"``, or ``"ratio"``.  Stored as ``engine_name`` (the
+        ``engine`` attribute is the event kernel).  Under ``NoPolicy``
+        reputations are never consulted during the run, so the same
+        seeded schedule replays identically for every mechanism.
     """
 
     def __init__(
@@ -114,6 +121,7 @@ class CommunitySimulator:
         faults: Optional[FaultConfig] = None,
         obs: Optional[Observability] = None,
         provenance: bool = False,
+        engine: str = "bartercast",
     ) -> None:
         trace.validate()
         self.trace = trace
@@ -124,6 +132,7 @@ class CommunitySimulator:
         self.bc_config = bc_config if bc_config is not None else BarterCastConfig()
         self.obs = obs if obs is not None else NULL_OBS
         self.engine = Simulator(obs=self.obs)
+        self.engine_name = engine
         self.rngs = RngRegistry(seed)
 
         metrics = self.obs.metrics
@@ -165,6 +174,7 @@ class CommunitySimulator:
                 behavior=roles.behavior_of(pid),
                 obs=self.obs,
                 provenance=self.provenance,
+                engine=engine,
             )
             for pid in trace.peers
         }
@@ -352,6 +362,11 @@ class CommunitySimulator:
         recorder = TimeSeriesRecorder(
             label=collector.next_label(), capacity=cfg.capacity
         )
+        if self.engine_name != "bartercast":
+            # Tag rival-mechanism series so merged sweep exports stay
+            # attributable.  Default runs are left untagged: their JSON
+            # snapshots must stay byte-identical to pre-zoo builds.
+            recorder.meta["engine"] = self.engine_name
         self._ts_gt_cache: Optional[tuple] = None
         recorder.add_probe("coverage", self._probe_coverage)
         recorder.add_probe("rank_inversion_rate", self._probe_inversion)

@@ -276,11 +276,28 @@ def _build_parser() -> argparse.ArgumentParser:
         help="comma-separated message-loss ladder to sweep",
     )
     pf.add_argument(
-        "--churn",
+        "--loss",
         type=float,
-        default=0.0,
-        metavar="RATE",
-        help="abrupt peer restarts per peer per day, applied at every sweep point",
+        default=None,
+        metavar="P",
+        help="single-point shorthand: sweep exactly this one loss level "
+        "(overrides --losses)",
+    )
+    pf.add_argument(
+        "--churn",
+        default="0",
+        metavar="R1,R2,...",
+        help="comma-separated churn rates (abrupt restarts per peer per "
+        "day) to sweep; a single value reproduces the historical "
+        "one-rate sweep",
+    )
+    pf.add_argument(
+        "--engine",
+        default="bartercast",
+        metavar="E1,E2,...",
+        help="comma-separated reputation mechanisms to compare on "
+        "identical seeded schedules: bartercast, gossip, ratio "
+        "(DESIGN.md §15)",
     )
     pf.add_argument(
         "--dup",
@@ -339,6 +356,15 @@ def _build_parser() -> argparse.ArgumentParser:
     pe.add_argument(
         "--delta", type=float, default=-0.5,
         help="ban threshold (only with --policy ban)",
+    )
+    pe.add_argument(
+        "--engine",
+        default="bartercast",
+        metavar="E1,E2,...",
+        help="reputation mechanism(s) to explain under: bartercast, "
+        "gossip, ratio.  More than one adds a side-by-side comparison "
+        "(why did mechanism A ban this peer when B didn't); the first "
+        "named engine drives the replayed run",
     )
     pe.add_argument(
         "--profile",
@@ -516,27 +542,39 @@ def _faults(
     from repro.analysis.export import export_faults
     from repro.experiments.faults import run_faults
 
-    losses = tuple(float(x) for x in args.losses.split(",") if x.strip())
+    if getattr(args, "loss", None) is not None:
+        losses = (float(args.loss),)
+    else:
+        losses = tuple(float(x) for x in args.losses.split(",") if x.strip())
+    churns = tuple(
+        float(x) for x in str(args.churn).split(",") if x.strip()
+    ) or (0.0,)
+    engines = tuple(
+        x.strip() for x in getattr(args, "engine", "bartercast").split(",")
+        if x.strip()
+    ) or ("bartercast",)
     if manifest is not None:
         manifest.set_faults(
             {
                 "losses": list(losses),
-                "churn": args.churn,
+                "churn": churns[0] if len(churns) == 1 else list(churns),
                 "dup": args.dup,
                 "delay": args.delay,
+                **({"engines": list(engines)} if engines != ("bartercast",) else {}),
             }
         )
     with manifest.phase("faults"):
         result = run_faults(
             scenario,
             losses=losses,
-            churn=args.churn,
+            churn=churns[0] if len(churns) == 1 else churns,
             dup=args.dup,
             delay=args.delay,
             delta=args.delta,
             top_k=getattr(args, "top_k", 0),
             obs=obs,
             runner=runner,
+            engines=engines,
         )
     print(report.report_faults(result))
     with manifest.phase("export"):
@@ -550,12 +588,36 @@ def _explain(
     manifest: Optional[ManifestBuilder] = None,
 ) -> int:
     """``repro explain``: replay a scenario with provenance on, then
-    decompose ``R_peer(subject)`` into flow paths and claim lineage."""
+    decompose ``R_peer(subject)`` into flow paths and claim lineage.
+    With ``--engine`` naming several mechanisms, adds the side-by-side
+    verdict comparison (why did mechanism A ban this peer when B
+    didn't); the first named engine drives the replayed run."""
     import json
 
+    from repro.core.engines import ENGINE_NAMES
     from repro.core.policies import BanPolicy, NoPolicy, RankPolicy
     from repro.experiments.scenario import build_simulation
-    from repro.obs.explain import explain_reputation, render_explanation, top_subjects
+    from repro.obs.explain import (
+        explain_engines,
+        explain_reputation,
+        render_engine_comparison,
+        render_explanation,
+        top_subjects,
+    )
+
+    engines = tuple(
+        x.strip()
+        for x in getattr(args, "engine", "bartercast").split(",")
+        if x.strip()
+    ) or ("bartercast",)
+    unknown = [e for e in engines if e not in ENGINE_NAMES]
+    if unknown:
+        print(
+            f"error: unknown engine(s) {', '.join(unknown)} "
+            f"(known: {', '.join(ENGINE_NAMES)})",
+            file=sys.stderr,
+        )
+        return 2
 
     if args.policy == "rank":
         policy = RankPolicy()
@@ -564,8 +626,11 @@ def _explain(
     else:
         policy = NoPolicy()
 
+    run_scenario = scenario.with_provenance()
+    if engines[0] != run_scenario.engine:
+        run_scenario = run_scenario.with_engine(engines[0])
     with manifest.phase("simulate"):
-        sim = build_simulation(scenario.with_provenance(), policy=policy, obs=obs)
+        sim = build_simulation(run_scenario, policy=policy, obs=obs)
         sim.run()
     if args.peer not in sim.nodes:
         print(f"error: peer {args.peer} is not in the population", file=sys.stderr)
@@ -584,20 +649,33 @@ def _explain(
         candidates = [p for p in sim.nodes if p != args.peer]
         subjects = top_subjects(node, candidates, args.top_k)
 
+    compare = len(engines) > 1 or engines != ("bartercast",)
     explanations = []
     with manifest.phase("explain"):
         for subject in subjects:
             expl = explain_reputation(node, subject)
-            explanations.append(expl)
             print(render_explanation(expl))
             print()
+            verdicts = []
+            if compare:
+                verdicts = explain_engines(node, subject, engines, args.delta)
+                print(render_engine_comparison(verdicts))
+                print()
+            explanations.append((expl, verdicts))
     if sim.provenance is not None:
         manifest.note("provenance_recorder", sim.provenance.summary())
     if args.export is not None:
+
+        def _doc(expl, verdicts):
+            d = expl.to_json()
+            if verdicts:
+                d["engines"] = [v.to_json() for v in verdicts]
+            return d
+
         doc = (
-            explanations[0].to_json()
+            _doc(*explanations[0])
             if len(explanations) == 1
-            else [e.to_json() for e in explanations]
+            else [_doc(e, v) for e, v in explanations]
         )
         path = Path(args.export)
         path.parent.mkdir(parents=True, exist_ok=True)

@@ -40,6 +40,7 @@ from typing import Dict, Hashable, Iterable, List, Optional, Tuple
 import numpy as np
 
 from repro.core.adversary import HonestBehavior, MessageBehavior
+from repro.core.engines import make_engine
 from repro.core.history import PrivateHistory
 from repro.core.messages import BarterCastMessage
 from repro.core.reputation import ReputationMetric
@@ -119,6 +120,13 @@ class BarterCastNode:
         send/receive (``bc.message``) and kernel invocations
         (``rep.kernel``).  The disabled default adds one attribute check
         per instrumented block.
+    engine:
+        Reputation mechanism (DESIGN.md §15): ``"bartercast"`` (default —
+        the paper's maxflow metric on the native, byte-identical path),
+        ``"gossip"`` (differential-gossip aggregation), or ``"ratio"``
+        (upload/download ratio credit).  Rival engines take over
+        ``reputation_of`` / ``reputations_of`` / ``rank_by_reputation``;
+        transfer accounting and the gossip layer are engine-independent.
     provenance:
         Optional :class:`~repro.obs.provenance.ProvenanceRecorder` shared
         across the simulation.  When enabled, outgoing messages are
@@ -136,6 +144,7 @@ class BarterCastNode:
         obs: Optional[Observability] = None,
         provenance: Optional[ProvenanceRecorder] = None,
         graph_backend: str = "dict",
+        engine: str = "bartercast",
     ) -> None:
         if cache_mode not in CACHE_MODES:
             raise ValueError(
@@ -146,6 +155,14 @@ class BarterCastNode:
                 f"graph_backend must be one of {GRAPH_BACKENDS}, got {graph_backend!r}"
             )
         self.peer_id = peer_id
+        self.engine_name = engine
+        # Engine dispatch (DESIGN.md §15).  None for the default
+        # "bartercast" engine: the public reputation methods then fall
+        # straight through to the native maxflow bodies, keeping the
+        # default path byte-identical to a build without the engines
+        # package.  Rival engines are constructed by name (sweeps pickle
+        # the name, not the instance) and attached after state init below.
+        self._engine_dispatch = None if engine == "bartercast" else make_engine(engine)
         self.config = config if config is not None else BarterCastConfig()
         self.behavior: MessageBehavior = behavior if behavior is not None else HonestBehavior()
         self.cache_mode = cache_mode
@@ -214,6 +231,9 @@ class BarterCastNode:
             self._uniq_val: Optional[List[PeerId]] = None
         elif cache_mode == "dirty":
             self.graph.subscribe(self._on_edge_change)
+        if self._engine_dispatch is not None:
+            self._engine_dispatch.attach(self)
+        self._bartercast_facade = None
 
     # ------------------------------------------------------------------
     # Transfer accounting (private history is authoritative for own edges)
@@ -337,8 +357,14 @@ class BarterCastNode:
         """Drop every cached reputation (forces cold re-evaluation).
 
         Used by benchmarks and the scalability experiment to measure
-        cold-cache query cost; normal operation never needs it.
+        cold-cache query cost; normal operation never needs it.  With a
+        rival engine attached its memo is dropped too.
         """
+        if self._engine_dispatch is not None:
+            self._engine_dispatch.invalidate_cache()
+        self._native_invalidate_cache()
+
+    def _native_invalidate_cache(self) -> None:
         if self._columnar_stamps:
             self.rep_cache_invalidations += int((self._c_stamp >= 0).sum())
             self._c_stamp.fill(-1)
@@ -354,8 +380,12 @@ class BarterCastNode:
 
         For the columnar stamp cache this counts *stored* entries; some may
         be stale (they are re-checked lazily at lookup, not evicted
-        eagerly).
+        eagerly).  With a rival engine attached this is its memo size (the
+        native cache sees no traffic then).
         """
+        eng = self._engine_dispatch
+        if eng is not None:
+            return getattr(eng, "cache_size", 0)
         if self._columnar_stamps:
             return int((self._c_stamp >= 0).sum()) + len(self._c_unknown)
         return len(self._rep_cache)
@@ -393,8 +423,18 @@ class BarterCastNode:
     # Reputation
     # ------------------------------------------------------------------
     def reputation_of(self, peer: PeerId) -> float:
-        """The subjective reputation ``R_self(peer)``, served from the cache
-        when the cached value is provably fresh."""
+        """The subjective reputation ``R_self(peer)``.
+
+        With the default engine this is Equation 1 served through the
+        maxflow caches; a rival engine takes over the whole surface
+        (same contract: never rates self, never NaN).
+        """
+        if self._engine_dispatch is not None:
+            return self._engine_dispatch.reputation_of(peer)
+        return self._native_reputation_of(peer)
+
+    def _native_reputation_of(self, peer: PeerId) -> float:
+        """The maxflow path: cache-served when provably fresh."""
         if peer == self.peer_id:
             raise ValueError("a node does not rate itself")
         if self._columnar_stamps:
@@ -466,12 +506,18 @@ class BarterCastNode:
         return value
 
     def reputations_of(self, peers: Iterable[PeerId]) -> Dict[PeerId, float]:
-        """Batch evaluation of several peers.
+        """Batch evaluation of several peers (``self``/duplicates skipped).
 
-        Cached entries are served directly; all misses are evaluated in a
-        single batched kernel pass (bit-identical to scalar evaluation).
-        ``self`` and duplicates are skipped.
+        Dispatches to the attached rival engine when one is configured;
+        the native path serves cached entries directly and evaluates all
+        misses in a single batched kernel pass (bit-identical to scalar
+        evaluation).
         """
+        if self._engine_dispatch is not None:
+            return self._engine_dispatch.reputations_of(peers)
+        return self._native_reputations_of(peers)
+
+    def _native_reputations_of(self, peers: Iterable[PeerId]) -> Dict[PeerId, float]:
         if self._columnar_stamps and isinstance(peers, list):
             # A choke round ranks the same candidate list every time; the
             # dedupe result is memoised against a defensive copy, so an
@@ -627,14 +673,33 @@ class BarterCastNode:
 
         Ties are broken deterministically by peer id representation, which
         in the rank policy gives stable round-robin-like behaviour among
-        strangers (all reputation ~0).
+        strangers (all reputation ~0).  Every engine shares this
+        tie-break, so stranger rotation is seed-stable per mechanism.
         """
-        reps = self.reputations_of(peers)
+        if self._engine_dispatch is not None:
+            return self._engine_dispatch.rank_by_reputation(peers)
+        return self._native_rank_by_reputation(peers)
+
+    def _native_rank_by_reputation(self, peers: Iterable[PeerId]) -> List[PeerId]:
+        reps = self._native_reputations_of(peers)
         scored: List[Tuple[float, str, PeerId]] = [
             (-value, repr(p), p) for p, value in reps.items()
         ]
         scored.sort(key=lambda t: (t[0], t[1]))
         return [p for _, _, p in scored]
+
+    def active_engine(self):
+        """The :class:`~repro.core.engines.ReputationEngine` scoring this
+        node.  For the default mechanism this is a lazily-built
+        BarterCast facade over the native path (dispatch itself stays
+        ``None`` so the hot path is untouched); used by the fault
+        auditor and ``repro explain`` for per-engine semantics
+        (``effective_delta``, ``score_bounds``, ``evidence_flows``)."""
+        if self._engine_dispatch is not None:
+            return self._engine_dispatch
+        if self._bartercast_facade is None:
+            self._bartercast_facade = make_engine("bartercast").attach(self)
+        return self._bartercast_facade
 
     # ------------------------------------------------------------------
     @property

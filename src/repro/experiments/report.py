@@ -151,29 +151,45 @@ def report_fig4(result: Fig4Result) -> str:
 
 
 def report_faults(result: FaultsResult) -> str:
-    """Fault sweep: reputation quality vs. gossip-plane fault level."""
+    """Fault sweep: reputation quality vs. gossip-plane fault level.
+
+    One quality section per reputation mechanism in the sweep (the
+    mechanisms ran on identical seeded schedules, so the fault columns
+    line up row for row and the tables read as a direct comparison).
+    The channel/churn telemetry is mechanism-independent by
+    construction and is printed once.
+    """
     lines: List[str] = []
+    engines = result.engines or ("bartercast",)
     lines.append(
         "== Fault sweep: reputation quality vs message loss"
         f" (profile={result.profile}, ban delta={result.delta}) =="
     )
-    rows = [
-        (
-            float(p.loss),
-            float(p.churn),
-            float(p.coverage),
-            float(p.false_ban_rate),
-            float(p.rank_inversion_rate),
+    for engine in engines:
+        pts = result.points_for(engine)
+        if len(engines) > 1:
+            lines.append(f"-- mechanism: {engine} --")
+        rows = [
+            (
+                float(p.loss),
+                float(p.churn),
+                float(p.coverage),
+                float(p.false_ban_rate),
+                float(p.rank_inversion_rate),
+                float(p.convergence_time),
+            )
+            for p in pts
+        ]
+        lines.append(
+            render_table(
+                [
+                    "loss", "churn/day", "coverage", "false-ban",
+                    "rank-inversion", "converge-s",
+                ],
+                rows,
+                "{:.3f}",
+            )
         )
-        for p in result.points
-    ]
-    lines.append(
-        render_table(
-            ["loss", "churn/day", "coverage", "false-ban", "rank-inversion"],
-            rows,
-            "{:.3f}",
-        )
-    )
     lines.append("")
     lines.append("== Channel / churn telemetry ==")
     rows = [
@@ -186,7 +202,7 @@ def report_faults(result: FaultsResult) -> str:
             p.crashes,
             p.wipes,
         )
-        for p in result.points
+        for p in result.points_for(engines[0])
     ]
     lines.append(
         render_table(
@@ -201,7 +217,8 @@ def report_faults(result: FaultsResult) -> str:
         for p in result.points:
             if not p.digests:
                 continue
-            lines.append(f"loss={p.loss:g} churn/day={p.churn:g}:")
+            tag = f" [{p.engine}]" if len(engines) > 1 else ""
+            lines.append(f"loss={p.loss:g} churn/day={p.churn:g}{tag}:")
             for d in p.digests:
                 lines.append(
                     f"  peer {d.evaluator} ranks freerider {d.freerider} "

@@ -81,6 +81,14 @@ class ScenarioConfig:
         receipt times, supersede counts) for post-run explanation via
         ``repro explain``.  Off by default; recording never feeds back
         into behaviour, so results are bit-identical either way.
+    engine:
+        Reputation mechanism every node runs (DESIGN.md §15):
+        ``"bartercast"`` (default, the paper's maxflow metric on the
+        byte-identical native path), ``"gossip"``, or ``"ratio"``.  A
+        name, not an instance, so scenarios stay picklable for sweep
+        tasks.  Under :class:`~repro.core.policies.NoPolicy` the engine
+        is never consulted during the run, so fault sweeps across
+        engines replay identical seeded schedules.
     """
 
     name: str
@@ -93,6 +101,7 @@ class ScenarioConfig:
     seed: int = 42
     faults: Optional[FaultConfig] = None
     provenance: bool = False
+    engine: str = "bartercast"
 
     # ------------------------------------------------------------------
     @classmethod
@@ -226,6 +235,10 @@ class ScenarioConfig:
         """A copy of this scenario with lineage recording toggled."""
         return replace(self, provenance=provenance)
 
+    def with_engine(self, engine: str) -> "ScenarioConfig":
+        """A copy of this scenario with a different reputation engine."""
+        return replace(self, engine=engine)
+
 
 def build_simulation(
     scenario: ScenarioConfig,
@@ -254,4 +267,5 @@ def build_simulation(
         faults=scenario.faults,
         obs=obs,
         provenance=scenario.provenance,
+        engine=scenario.engine,
     )

@@ -17,8 +17,10 @@ no matter how peers churn, a peer's subjective view must stay inside the
 2. **Owner-incident edges come only from private history.**  Whatever
    the fault schedule does, an edge touching the view's owner must equal
    the owner's own accounting, byte for byte.
-3. **Reputations stay in the open interval (−1, 1)** (the arctan-scaled
-   maxflow metric's codomain).
+3. **Reputations stay inside the engine's declared codomain** — the
+   open interval (−1, 1) for the arctan-scaled engines (BarterCast,
+   differential gossip), the closed [−1, 1] for ratio credit — and are
+   never NaN.
 4. **Recorded lineage reconstructs the view** (only when the run
    recorded provenance): for every materialized third-party edge, the
    max over the live claims' lineage values must equal the edge
@@ -115,13 +117,24 @@ def audit_node(
             )
     if rep_targets is None:
         rep_targets = [p for p in histories if p != owner]
+    # Invariant 3 is range-checked against the *engine's* declared
+    # codomain: the arctan-scaled engines live in the open interval
+    # (−1, 1), the ratio engine legitimately reaches ±1 (a pure leecher
+    # is exactly −1), which its closed bounds declare.  A NaN fails
+    # either comparison, so "never NaN" is enforced for every engine.
+    eng = node.active_engine()
+    lo, hi = eng.score_bounds
+    closed = eng.bounds_closed
     for target in rep_targets:
         if target == owner:
             continue
         rep = node.reputation_of(target)
-        if not -1.0 < rep < 1.0:
+        ok = (lo <= rep <= hi) if closed else (lo < rep < hi)
+        if not ok:
+            interval = f"[{lo:g}, {hi:g}]" if closed else f"({lo:g}, {hi:g})"
             violations.append(
-                f"reputation R_{owner!r}({target!r}) = {rep} outside (-1, 1)"
+                f"reputation R_{owner!r}({target!r}) = {rep} outside "
+                f"{interval} ({eng.name} engine)"
             )
     if getattr(node.shared, "provenance_enabled", False):
         violations.extend(_audit_lineage(node, histories))

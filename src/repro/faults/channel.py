@@ -59,7 +59,7 @@ class FaultConfig:
     Attributes
     ----------
     loss:
-        Per-message drop probability in ``[0, 1)``.
+        Per-message drop probability in ``[0, 1]`` (1.0 = blackout).
     duplicate:
         Per-copy probability that one more copy of the message is
         delivered (geometric; capped at :data:`MAX_COPIES` copies).
@@ -91,11 +91,18 @@ class FaultConfig:
     connectable_fraction: float = 1.0
 
     def validate(self) -> None:
-        """Check parameter sanity; raises ``ValueError``."""
+        """Check parameter sanity; raises ``ValueError``.
+
+        ``loss = 1.0`` (total blackout) and ``duplicate = 1.0`` (every
+        copy spawns another, saturating at :data:`MAX_COPIES`) are valid
+        extreme points: the blackout regime is exactly what the fault
+        sweep's bootstrap measurements drive, and the duplication cap
+        bounds the geometric continuation regardless of the probability.
+        """
         for name in ("loss", "duplicate"):
             v = getattr(self, name)
-            if not 0.0 <= v < 1.0:
-                raise ValueError(f"{name} must be in [0, 1), got {v}")
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {v}")
         if self.delay_max < 0:
             raise ValueError("delay_max must be non-negative")
         if self.churn_rate < 0:

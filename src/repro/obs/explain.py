@@ -24,6 +24,16 @@ with :mod:`repro.obs` can form).
 Entry points: :func:`explain_reputation` builds an :class:`Explanation`,
 :func:`render_explanation` renders it as text for the ``repro explain``
 subcommand, and :meth:`Explanation.to_json` backs ``--export``.
+
+When the CLI is asked for more than one reputation mechanism
+(``repro explain --engine bartercast,ratio``), :func:`explain_engines`
+evaluates every requested :class:`~repro.core.engines.base
+.ReputationEngine` against the *same* subjective state and
+:func:`render_engine_comparison` prints the side-by-side verdicts —
+the direct answer to "why did mechanism A ban this peer when B
+didn't": each mechanism's score, its own ban threshold (the ratio
+engine bans on a share-ratio floor, not the sweep's δ), and the
+components behind the score.
 """
 
 from __future__ import annotations
@@ -36,8 +46,11 @@ from repro.obs.provenance import ClaimLineage, _json_safe
 
 __all__ = [
     "EdgeEvidence",
+    "EngineExplanation",
     "Explanation",
+    "explain_engines",
     "explain_reputation",
+    "render_engine_comparison",
     "render_explanation",
     "top_subjects",
 ]
@@ -183,6 +196,81 @@ def explain_reputation(node, subject: PeerId) -> Explanation:
     )
 
 
+@dataclass
+class EngineExplanation:
+    """One mechanism's verdict on one subject, from shared evidence.
+
+    Every engine reads the same subjective graph, so differing verdicts
+    come from the mechanisms themselves — which is exactly what the
+    comparison is for.  ``threshold`` is the engine's *effective* ban
+    threshold (the sweep δ pushed through
+    :meth:`~repro.core.engines.base.ReputationEngine.effective_delta`),
+    and ``banned`` is the resulting verdict ``score < threshold``.
+    """
+
+    engine: str
+    evaluator: PeerId
+    subject: PeerId
+    score: float
+    threshold: float
+    banned: bool
+    inflow: float
+    outflow: float
+    components: Dict[str, object]
+
+    def to_json(self) -> dict:
+        return {
+            "engine": self.engine,
+            "evaluator": _json_safe(self.evaluator),
+            "subject": _json_safe(self.subject),
+            "score": self.score,
+            "threshold": self.threshold,
+            "banned": self.banned,
+            "inflow_bytes": self.inflow,
+            "outflow_bytes": self.outflow,
+            "components": {k: _json_safe(v) for k, v in self.components.items()},
+        }
+
+
+def explain_engines(
+    node, subject: PeerId, engine_names, delta: float
+) -> List[EngineExplanation]:
+    """Evaluate ``subject`` under every named mechanism on ``node``'s state.
+
+    The node's own running engine is reused as-is; other mechanisms are
+    built fresh and attached standalone (attachment only binds the node
+    and initializes the engine's private memo — it never mutates node
+    state), so every engine scores the *same* subjective graph.  ``delta``
+    is the sweep-style ban threshold, translated per engine via
+    ``effective_delta``.
+    """
+    from repro.core.engines import make_engine  # lazy: keep module import-light
+
+    out: List[EngineExplanation] = []
+    for name in engine_names:
+        if name == getattr(node, "engine_name", "bartercast"):
+            eng = node.active_engine()
+        else:
+            eng = make_engine(name).attach(node)
+        score = eng.reputation_of(subject)
+        threshold = eng.effective_delta(delta)
+        inflow, outflow = eng.evidence_flows(subject)
+        out.append(
+            EngineExplanation(
+                engine=eng.name,
+                evaluator=node.peer_id,
+                subject=subject,
+                score=score,
+                threshold=threshold,
+                banned=score < threshold,
+                inflow=inflow,
+                outflow=outflow,
+                components=eng.explain_components(subject),
+            )
+        )
+    return out
+
+
 def top_subjects(node, candidates, k: int) -> List[PeerId]:
     """The ``k`` candidates with the largest ``|R_node(j)|``.
 
@@ -270,4 +358,50 @@ def render_explanation(expl: Explanation) -> str:
         lines.append(
             "  (no claim lineage recorded — run the scenario with --provenance)"
         )
+    return "\n".join(lines)
+
+
+def _component_line(key: str, value: object) -> str:
+    if key.endswith("_bytes") and isinstance(value, (int, float)):
+        return f"    {key}: {_mb(float(value))}"
+    if value is None:
+        return f"    {key}: n/a"
+    if isinstance(value, float):
+        return f"    {key}: {value:+.4f}"
+    return f"    {key}: {value}"
+
+
+def render_engine_comparison(verdicts: List[EngineExplanation]) -> str:
+    """Side-by-side mechanism verdicts for one (evaluator, subject) pair.
+
+    Leads with the headline disagreement ("ratio bans 7, bartercast
+    keeps it"), then one block per engine: score vs its own effective
+    threshold, evidence totals, and the score decomposition.
+    """
+    if not verdicts:
+        return ""
+    i, j = verdicts[0].evaluator, verdicts[0].subject
+    lines: List[str] = []
+    banned = [v.engine for v in verdicts if v.banned]
+    kept = [v.engine for v in verdicts if not v.banned]
+    lines.append(f"-- mechanism verdicts on R_{i}({j}) --")
+    if banned and kept:
+        lines.append(
+            f"  DISAGREEMENT: {', '.join(banned)} ban(s) {j}; "
+            f"{', '.join(kept)} do(es) not"
+        )
+    elif banned:
+        lines.append(f"  every mechanism bans {j}")
+    else:
+        lines.append(f"  no mechanism bans {j}")
+    for v in verdicts:
+        verdict = "BAN" if v.banned else "keep"
+        op = "<" if v.banned else ">="
+        lines.append(
+            f"  [{v.engine}] {verdict}: score {v.score:+.4f} {op} "
+            f"threshold {v.threshold:+.4f} | evidence in {_mb(v.inflow)} / "
+            f"out {_mb(v.outflow)}"
+        )
+        for key, value in v.components.items():
+            lines.append(_component_line(key, value))
     return "\n".join(lines)

@@ -80,6 +80,10 @@ class TimeSeriesRecorder:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.label = label
         self.capacity = capacity
+        #: Free-form JSON-safe tags (e.g. the reputation engine the run
+        #: used); included in snapshots only when non-empty, so series
+        #: from untagged runs serialize exactly as before.
+        self.meta: Dict[str, object] = {}
         self._names: List[str] = []
         self._probes: List[Callable[[float], float]] = []
         self._times = np.zeros(capacity, dtype=np.float64)
@@ -165,7 +169,7 @@ class TimeSeriesRecorder:
         if self._data is not None:
             for i, name in enumerate(self._names):
                 series[name] = self._data[order, i].tolist()
-        return {
+        out = {
             "schema": TIMESERIES_SCHEMA,
             "label": self.label,
             "columns": list(self._names),
@@ -174,6 +178,9 @@ class TimeSeriesRecorder:
             "samples_total": self._total,
             "samples_dropped": self.samples_dropped,
         }
+        if self.meta:
+            out["meta"] = dict(self.meta)
+        return out
 
     def write_csv(self, path: Union[str, Path]) -> Path:
         """Write the held rows as ``t,<col>,...`` CSV; returns the path."""

@@ -169,7 +169,7 @@ def _exec_fault_point(task: SweepTask, obs: Observability) -> Any:
     p = task.params
     return run_fault_point(
         p["scenario"], p["faults"], delta=p["delta"],
-        top_k=p.get("top_k", 0), obs=obs,
+        top_k=p.get("top_k", 0), obs=obs, engine=p.get("engine"),
     )
 
 

@@ -64,9 +64,10 @@ class TestFaultConfig:
     @pytest.mark.parametrize(
         "kwargs",
         [
-            {"loss": 1.0},
+            {"loss": 1.1},
             {"loss": -0.1},
-            {"duplicate": 1.0},
+            {"duplicate": 1.1},
+            {"duplicate": -0.1},
             {"delay_max": -1.0},
             {"churn_rate": -0.5},
             {"churn_downtime": 0.0},
@@ -77,6 +78,13 @@ class TestFaultConfig:
     def test_validate_rejects(self, kwargs):
         with pytest.raises(ValueError):
             FaultConfig(**kwargs).validate()
+
+    @pytest.mark.parametrize("kwargs", [{"loss": 1.0}, {"duplicate": 1.0}])
+    def test_validate_accepts_extreme_knobs(self, kwargs):
+        # Regression: loss=1.0 (blackout) and duplicate=1.0 (geometric
+        # continuation saturating at MAX_COPIES) are valid extreme points
+        # the fault sweep drives; validate() used to reject them.
+        FaultConfig(**kwargs).validate()
 
 
 # ---------------------------------------------------------------------------
@@ -348,3 +356,176 @@ class TestChurnInSimulation:
         )
         assert churned.coverage < clean.coverage
         assert churned.crashes > 0
+
+
+# ---------------------------------------------------------------------------
+# Mechanism sweep: the engine grid over identical seeded schedules
+# ---------------------------------------------------------------------------
+class TestGoldenPin:
+    """Values the `engine="bartercast"` sweep produced before the engine
+    layer existed, captured on the tiny profile.  Exact equality (not
+    approx): the default path must stay byte-identical through any
+    refactor of the engine dispatch, the convergence sampler, or the
+    sweep plumbing."""
+
+    # (churn, loss) -> (coverage, false_ban, rank_inversion,
+    #                   delivered, dropped, duplicated, delayed,
+    #                   crashes, wipes, violations)
+    GOLDEN = {
+        (0.0, 0.0): (0.8738576390403887, 0.03296703296703297,
+                     0.033854166666666664, 0, 0, 0, 0, 0, 0, 0),
+        (0.0, 0.25): (0.8630495828631111, 0.03296703296703297,
+                      0.033854166666666664, 7437, 2523, 0, 0, 0, 0, 0),
+        (2.0, 0.0): (0.34353611224800246, 0.0, 0.05303030303030303,
+                     0, 0, 0, 0, 43, 21, 0),
+        (2.0, 0.25): (0.34353611224800246, 0.0, 0.05303030303030303,
+                      6949, 2353, 0, 0, 43, 21, 0),
+    }
+
+    def test_default_engine_sweep_is_bit_identical_to_pre_engine_build(self):
+        result = run_faults(
+            ScenarioConfig.tiny(), losses=(0.0, 0.25), churn=(0.0, 2.0)
+        )
+        assert len(result.points) == len(self.GOLDEN)
+        for p in result.points:
+            assert p.engine == "bartercast"
+            got = (
+                p.coverage, p.false_ban_rate, p.rank_inversion_rate,
+                p.messages_delivered, p.messages_dropped,
+                p.messages_duplicated, p.messages_delayed,
+                p.crashes, p.wipes, p.audit_violations,
+            )
+            assert got == self.GOLDEN[(p.churn, p.loss)]
+
+        # The default sweep also keeps its historical export surface:
+        # one table, the legacy name, no engine column.
+        from repro.analysis.export import export_faults
+
+        tables = export_faults(result)
+        assert set(tables) == {"faults_sweep"}
+
+
+class TestExtremeKnobs:
+    """The fault harness at the edges of its knob ranges, per engine.
+
+    Regressions for the sweep generalization: loss=1.0 (used to be
+    rejected by validate), duplicate=1.0 (geometric continuation pinned
+    at MAX_COPIES), and churn with near-immediate rejoin (downtime ≪
+    gossip interval) must complete with a clean audit under every
+    mechanism, and every measure must stay a well-defined probability —
+    never NaN."""
+
+    ENGINES = ("bartercast", "gossip", "ratio")
+
+    def _check(self, point):
+        assert point.audit_violations == 0
+        for rate in (point.coverage, point.false_ban_rate,
+                     point.rank_inversion_rate):
+            assert 0.0 <= rate <= 1.0  # also fails on NaN
+        assert point.convergence_time >= 0.0
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_total_blackout(self, engine):
+        point = run_fault_point(
+            ScenarioConfig.tiny(), FaultConfig(loss=1.0), engine=engine
+        )
+        assert point.messages_delivered == 0
+        assert point.messages_dropped > 0
+        self._check(point)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_duplication_cap_saturation(self, engine):
+        point = run_fault_point(
+            ScenarioConfig.tiny(), FaultConfig(duplicate=1.0), engine=engine
+        )
+        # Every message spawns copies up to the cap: exactly
+        # MAX_COPIES - 1 duplicates per delivered original.
+        assert point.messages_duplicated > 0
+        assert point.messages_delivered == point.messages_duplicated + (
+            point.messages_delivered // MAX_COPIES
+        )
+        self._check(point)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_churn_with_immediate_rejoin(self, engine):
+        point = run_fault_point(
+            ScenarioConfig.tiny(),
+            FaultConfig(churn_rate=6.0, churn_downtime=1.0,
+                        churn_wipe_prob=1.0),
+            engine=engine,
+        )
+        assert point.crashes > 0
+        self._check(point)
+
+
+class TestMechanismSweep:
+    @pytest.fixture(scope="class")
+    def zoo(self):
+        return run_faults(
+            ScenarioConfig.tiny(),
+            losses=(0.0, 0.25),
+            churn=0.0,
+            engines=("bartercast", "gossip", "ratio"),
+        )
+
+    def test_engines_grouped_in_registry_order(self, zoo):
+        assert zoo.engines == ("bartercast", "gossip", "ratio")
+        for engine in zoo.engines:
+            assert [p.loss for p in zoo.points_for(engine)] == [0.0, 0.25]
+
+    def test_identical_schedules_identical_coverage(self, zoo):
+        # Under NoPolicy the engines are never consulted during the run,
+        # so the byte flow — and therefore graph coverage — is identical
+        # across mechanisms by construction.
+        base = [p.coverage for p in zoo.points_for("bartercast")]
+        for engine in ("gossip", "ratio"):
+            assert [p.coverage for p in zoo.points_for(engine)] == base
+
+    def test_mechanisms_disagree_on_bans(self, zoo):
+        fban = {
+            engine: zoo.points_for(engine)[0].false_ban_rate
+            for engine in zoo.engines
+        }
+        # The ratio floor bans peers maxflow tolerates; if the rates were
+        # equal the per-engine threshold translation would be dead code.
+        assert fban["ratio"] != fban["bartercast"]
+
+    def test_no_audit_violations_any_engine(self, zoo):
+        assert zoo.total_violations == 0
+
+    def test_rival_single_point_matches_sweep(self, zoo):
+        point = run_fault_point(
+            ScenarioConfig.tiny(), FaultConfig(loss=0.25), engine="ratio"
+        )
+        assert point == zoo.points_for("ratio")[1]
+
+    def test_rival_task_ids_are_namespaced(self):
+        from repro.experiments.faults import fault_tasks
+
+        tasks = fault_tasks(
+            ScenarioConfig.tiny(), losses=(0.0,), churn=0.0,
+            engines=("bartercast", "ratio"),
+        )
+        ids = [t.task_id for t in tasks]
+        assert ids == ["faults/loss0_churn0", "faults/ratio/loss0_churn0"]
+        assert "engine" not in tasks[0].params  # historical task spec intact
+        assert tasks[1].params["engine"] == "ratio"
+
+    def test_export_one_table_per_engine(self, zoo):
+        from repro.analysis.export import export_faults
+
+        tables = export_faults(zoo)
+        assert set(tables) == {
+            "faults_sweep", "faults_sweep_gossip", "faults_sweep_ratio",
+        }
+        for table in tables.values():
+            assert len(table["rows"]) == 2
+            assert "convergence_time_s" in table["header"]
+
+    def test_report_has_per_mechanism_sections(self, zoo):
+        from repro.experiments.report import report_faults
+
+        text = report_faults(zoo)
+        for engine in zoo.engines:
+            assert f"mechanism: {engine}" in text
+        assert "converge-s" in text
