@@ -46,6 +46,7 @@ or via pytest (``pytest benchmarks/bench_reputation_cache.py -m bench
 
 from __future__ import annotations
 
+import gc
 import io
 import json
 import time
@@ -347,6 +348,101 @@ def run_telemetry_overhead(repeats: int = 3) -> dict:
     }
 
 
+def run_dissemination_overhead(repeats: int = 2, profile: str = "fast") -> dict:
+    """Sim-level cost of dissemination recording, plus the always-on
+    envelope stamp.
+
+    Two probes.  (1) The figure-1 simulation plain vs with a
+    :class:`~repro.obs.dissemination.DisseminationRecorder` attached;
+    recording is append-only and consumes no RNG, so the results must be
+    bit-identical and the overhead within the 10% telemetry budget.  The
+    default scenario is the ``fast`` profile — the smallest profile
+    actually used for figures, where a run is ~13s and the ratio is
+    stable to ~2%.  The ``tiny`` CI shrink is the wrong denominator for
+    a budget gate twice over: it is sub-second (scheduler and
+    frequency-scaling noise alone swing pairs by +-8%, straddling the
+    gate) and gossip-dominated (the per-message hook is a much larger
+    *fraction* there than in any run users measure).  The modes still
+    run as interleaved pairs (plain, recording, ...) with
+    best-of-``repeats`` per mode on process CPU time, so neighbour load
+    and one-sided spikes are discarded.
+    (2) A node-level microbench isolating the causal envelope:
+    ``create_message`` now stamps ``msg_id``/``parent_id`` on *every*
+    message (recording on or off), so the stamp rides every run — its
+    per-message cost over the raw ``make_message`` path must be ~0.
+    """
+    from repro.experiments import ScenarioConfig, run_fig1
+    from repro.obs import make_observability
+
+    scenario = (
+        ScenarioConfig.tiny(seed=7) if profile == "tiny" else ScenarioConfig.fast(seed=7)
+    )
+
+    def fingerprint(result) -> tuple:
+        return (
+            tuple(result.sharer_reputation.tolist()),
+            tuple(result.freerider_reputation.tolist()),
+            result.spearman,
+        )
+
+    timings: Dict[str, float] = {"plain": float("inf"), "recording": float("inf")}
+    reference = None
+    # Freeze the pre-existing heap for the timed region.  Recording
+    # triggers more cyclic-GC passes than a plain run (its columns
+    # retain what the plain run frees), and each pass scans whatever
+    # else the process has built up — in the regression gate that is the
+    # residue of the reputation benches, which inflates the measured
+    # overhead well past what a fresh process (the real CLI) ever pays.
+    gc.collect()
+    gc.freeze()
+    try:
+        for _ in range(repeats):
+            for mode in ("plain", "recording"):
+                obs = (
+                    make_observability(dissemination=True)
+                    if mode == "recording"
+                    else None
+                )
+                t0 = time.process_time()
+                result = run_fig1(scenario, obs=obs)
+                elapsed = time.process_time() - t0
+                timings[mode] = min(timings[mode], elapsed)
+                if reference is None:
+                    reference = fingerprint(result)
+                elif fingerprint(result) != reference:
+                    raise AssertionError(
+                        f"dissemination mode {mode} changed the figure series"
+                    )
+    finally:
+        gc.unfreeze()
+
+    # Envelope microbench: same node, same selection work; the only
+    # difference is the stamp (one replace + one attribute write).
+    bootstrap, _, _ = _build_workload(SMOKE)
+    node = _fresh_node(SMOKE, "dirty", bootstrap)
+    n = 2000
+    t0 = time.perf_counter()
+    for i in range(n):
+        node.behavior.make_message(node, float(i))
+    raw_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    for i in range(n):
+        msg = node.create_message(float(i))
+    stamped_s = time.perf_counter() - t0
+    assert msg is not None and msg.msg_id == (OWNER, node.messages_sent)
+
+    return {
+        "scenario": f"fig1-{profile}",
+        "seconds": timings,
+        "overhead_dissemination_pct": (
+            (timings["recording"] / timings["plain"] - 1.0) * 100.0
+        ),
+        "envelope_stamp_us_per_message": max(0.0, stamped_s - raw_s) / n * 1e6,
+        "envelope_stamp_overhead_pct": (stamped_s / raw_s - 1.0) * 100.0,
+        "identical_results": True,
+    }
+
+
 def write_results(payload: dict, path: Path = RESULT_PATH) -> None:
     path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
 
@@ -380,6 +476,10 @@ def test_bench_reputation_cache(bench_smoke, tmp_path):
     payload["telemetry"] = run_telemetry_overhead(
         repeats=1 if bench_smoke else 3
     )
+    payload["dissemination"] = run_dissemination_overhead(
+        repeats=1 if bench_smoke else 2,
+        profile="tiny" if bench_smoke else "fast",
+    )
     if not bench_smoke:
         payload["smoke_reference"] = smoke_reference()
     # Smoke numbers are meaningless as a perf record: never let a CI-sized
@@ -388,6 +488,7 @@ def test_bench_reputation_cache(bench_smoke, tmp_path):
     assert payload["identical_reputations"]
     assert payload["instrumentation"]["identical_reputations"]
     assert payload["telemetry"]["identical_results"]
+    assert payload["dissemination"]["identical_results"]
     for variant in payload["variants"].values():
         assert variant["seconds"] > 0
     if not bench_smoke:
@@ -415,6 +516,12 @@ def test_bench_reputation_cache(bench_smoke, tmp_path):
         # Time-dimension telemetry budget: timeseries sampling plus the
         # phase/kernel profiler must stay within 10% of a plain run.
         assert payload["telemetry"]["overhead_telemetry_pct"] < 10.0
+        # Dissemination recording shares the same budget, and the
+        # always-on envelope stamp must be noise over raw message
+        # creation (record selection dominates it by orders of
+        # magnitude).
+        assert payload["dissemination"]["overhead_dissemination_pct"] < 10.0
+        assert payload["dissemination"]["envelope_stamp_overhead_pct"] < 25.0
 
 
 if __name__ == "__main__":  # pragma: no cover - manual entry point
@@ -427,6 +534,9 @@ if __name__ == "__main__":  # pragma: no cover - manual entry point
     payload = run_bench(cfg)
     payload["instrumentation"] = run_obs_overhead(cfg)
     payload["telemetry"] = run_telemetry_overhead(repeats=1 if args.smoke else 3)
+    payload["dissemination"] = run_dissemination_overhead(
+        repeats=1 if args.smoke else 3
+    )
     if not args.smoke:
         payload["smoke_reference"] = smoke_reference()
         write_results(payload)

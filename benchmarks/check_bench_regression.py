@@ -114,6 +114,32 @@ def check_telemetry(budget: float = 0.10) -> bool:
     return ok
 
 
+def check_dissemination(budget: float = 0.10) -> bool:
+    """Fresh dissemination-overhead probe against the absolute budget.
+
+    Same discipline as :func:`check_telemetry`: recording per-claim
+    dissemination DAGs must cost <= ``budget`` over a plain run, and the
+    always-on causal-envelope stamp must stay noise over raw message
+    creation.  Measured fresh rather than compared against the committed
+    artifact — the budget is a product guarantee.  The probe times the
+    fig1 ``fast`` profile (the smallest profile used for real figures)
+    as interleaved pairs on process CPU time: the tiny CI shrink is
+    sub-second, where machine noise alone straddles the gate.
+    """
+    from bench_reputation_cache import run_dissemination_overhead
+
+    fresh = run_dissemination_overhead(repeats=2)
+    overhead = fresh["overhead_dissemination_pct"]
+    stamp_us = fresh["envelope_stamp_us_per_message"]
+    ok = overhead <= budget * 100.0
+    print(
+        f"[bench-gate] dissemination overhead (recording vs plain): "
+        f"{overhead:+.1f}% (budget {budget:.0%}); envelope stamp "
+        f"{stamp_us:.2f}us/message -> {'ok' if ok else 'REGRESSION'}"
+    )
+    return ok
+
+
 def check_parallel(threshold: float) -> bool:
     """Fresh smoke --jobs 2 speedup vs the committed parallel artifact."""
     from bench_parallel_sweep import run_bench as run_parallel_bench
@@ -177,6 +203,7 @@ def main(argv=None) -> int:
     sys.path.insert(0, str(Path(__file__).resolve().parent))
     ok = check_reputation(args.threshold)
     ok = check_telemetry(args.telemetry_budget) and ok
+    ok = check_dissemination(args.telemetry_budget) and ok
     if not args.skip_parallel:
         ok = check_parallel(args.threshold) and ok
     if not ok:

@@ -268,6 +268,14 @@ class CommunitySimulator:
         if self.obs.timeseries.enabled:
             self._setup_timeseries(self.obs.timeseries)
 
+        # Causal dissemination recording (DESIGN.md §16): an append-only
+        # event log fed from the message path and the fault seams.  None
+        # when off — every hook below guards on that, so plain runs are
+        # byte-identical (no RNG use, no extra events either way).
+        self.dissemination = None
+        if self.obs.dissemination.enabled:
+            self._setup_dissemination(self.obs.dissemination)
+
     # ------------------------------------------------------------------
     # Wiring
     # ------------------------------------------------------------------
@@ -332,6 +340,8 @@ class CommunitySimulator:
         if wiped:
             self.nodes[peer].wipe_shared_history()
             self.pss.forget(peer)
+            if self.dissemination is not None:
+                self.dissemination.record_wipe(peer, now)
         self.pss.register(peer, now)
 
     # ------------------------------------------------------------------
@@ -401,6 +411,23 @@ class CommunitySimulator:
                 start_delay=cfg.interval_s,
                 label="timeseries",
             )
+
+    def _setup_dissemination(self, collector) -> None:
+        """Create this run's dissemination recorder.
+
+        The recorder is a pure event sink: the hooks in the message path
+        append to its log and never consume an RNG stream, schedule an
+        event, or mutate simulation state, so a recording run stays
+        bit-identical to an unrecorded one (pinned by test).
+        """
+        from repro.obs.dissemination import DisseminationRecorder
+
+        recorder = DisseminationRecorder(
+            label=collector.next_label(), config=collector.config
+        )
+        recorder.set_population(sorted(self.trace.peers))
+        collector.attach(recorder)
+        self.dissemination = recorder
 
     def _ts_ground_truth(self, now: float) -> tuple:
         """Ground truth (edges, contribution) memoized per sample time —
@@ -696,22 +723,37 @@ class CommunitySimulator:
         nb.note_seen(a, now)
         loss = self.config.gossip_loss
         lost = 0
+        rec = self.dissemination
         msg_a = na.create_message(now)
         if msg_a is not None:
             if self.channel is not None:
+                if rec is not None:
+                    rec.record_send(msg_a, b, now)
                 lost += self._send_via_channel(msg_a, b, now)
             elif loss > 0 and self._gossip_rng.bernoulli(loss):
                 lost += 1
+                if rec is not None:
+                    rec.record_send(msg_a, b, now)
+                    rec.record_drop(msg_a, b, now, "loss")
             else:
                 nb.receive_message(msg_a, now=now)
+                if rec is not None:
+                    rec.record_gossip(msg_a, b, now)
         msg_b = nb.create_message(now)
         if msg_b is not None:
             if self.channel is not None:
+                if rec is not None:
+                    rec.record_send(msg_b, a, now)
                 lost += self._send_via_channel(msg_b, a, now)
             elif loss > 0 and self._gossip_rng.bernoulli(loss):
                 lost += 1
+                if rec is not None:
+                    rec.record_send(msg_b, a, now)
+                    rec.record_drop(msg_b, a, now, "loss")
             else:
                 na.receive_message(msg_b, now=now)
+                if rec is not None:
+                    rec.record_gossip(msg_b, a, now)
         if self._m_gossip is not None:
             self._m_gossip.inc()
             if lost:
@@ -733,30 +775,67 @@ class CommunitySimulator:
         (the exchange-level "lost" accounting), 0 otherwise.
         """
         times = self.channel.plan_delivery(message.sender, receiver, now)
+        rec = self.dissemination
         if not times:
+            if rec is not None:
+                verdict = self.channel.last_verdict
+                rec.record_drop(
+                    message,
+                    receiver,
+                    now,
+                    "loss" if verdict == "dropped" else (verdict or "loss"),
+                )
             return 1
-        for t in times:
+        if rec is not None:
+            rec.record_plan(message, receiver, now, times)
+        for copy, t in enumerate(times):
             if t <= now:
-                self._deliver_message(receiver, message)
+                self._deliver_message(receiver, message, copy=copy, sent_at=now)
             else:
                 self.engine.schedule_at(
                     t,
-                    lambda m=message, r=receiver: self._deliver_message(r, m),
+                    lambda m=message, r=receiver, c=copy, s=now: self._deliver_message(
+                        r, m, copy=c, sent_at=s
+                    ),
                     label="net-deliver",
                 )
         return 0
 
-    def _deliver_message(self, receiver: int, message) -> None:
-        """Terminal delivery seam: a copy of ``message`` arrives now.
+    def _deliver_message(
+        self,
+        receiver: int,
+        message,
+        copy: int = 0,
+        sent_at: Optional[float] = None,
+    ) -> None:
+        """Terminal delivery seam: copy ``copy`` of ``message`` arrives now.
 
         A delayed copy can surface while the receiver is offline (trace
         session ended, or a churn outage) — then it is dropped, exactly
-        like a datagram hitting a dead host.
+        like a datagram hitting a dead host.  Churn-down receivers are
+        distinguished from session-offline ones so the drop is attributed
+        to the right fault (``net.dropped_by_churn``).
         """
+        now = self.engine.now
         if not self.is_online(receiver):
-            self.channel.note_undeliverable(message.sender, receiver, self.engine.now)
+            by_churn = self.churn is not None and receiver in self.churn.down
+            delay = 0.0 if sent_at is None else now - sent_at
+            self.channel.note_undeliverable(
+                message.sender, receiver, now, copy=copy, delay=delay, by_churn=by_churn
+            )
+            if self.dissemination is not None:
+                self.dissemination.record_drop(
+                    message,
+                    receiver,
+                    now,
+                    "churn-offline" if by_churn else "offline",
+                    copy=copy,
+                    delay=delay,
+                )
             return
-        self.nodes[receiver].receive_message(message, now=self.engine.now)
+        self.nodes[receiver].receive_message(message, now=now)
+        if self.dissemination is not None:
+            self.dissemination.record_deliver(message, receiver, now, copy=copy)
 
     # ------------------------------------------------------------------
     def run(self, until: Optional[float] = None) -> StatsCollector:

@@ -9,6 +9,7 @@ Usage::
     python -m repro.cli whitewash [--seed N]
     python -m repro.cli scalability [--peers N]
     python -m repro.cli faults [--losses 0,0.1,0.25,0.5] [--churn R]
+    python -m repro.cli dissemination [--loss 0.2] [--export out/]
     python -m repro.cli explain --peer I [--subject J] [--profile ...]
     python -m repro.cli all  [--profile ...] [--fig4-peers N]
     python -m repro.cli report PATH          # re-render a stored manifest
@@ -65,6 +66,14 @@ Observability flags (available on every subcommand):
     histograms); prints a profile section and stores it in the
     manifest.  Phase spans additionally land in
     ``profile_chrome.json`` for Perfetto.
+``--dissemination``
+    Record per-claim dissemination DAGs (sends, deliveries, drops,
+    duplicates, delays, churn wipes) during the run.  Never feeds back
+    into behaviour — results stay bit-identical.  The ``dissemination``
+    subcommand runs one faulted scenario with recording forced on and
+    prints propagation analytics (time-to-coverage, hop counts,
+    redundancy) plus fault attribution for undelivered claims;
+    exported as CSV + JSON beside the run manifest.
 ``--monitor-dir DIR``
     Spool directory for live ``--jobs`` sweep monitoring (see ``repro
     monitor``); defaults to a per-user temp directory.
@@ -84,14 +93,11 @@ import time
 from pathlib import Path
 from typing import List, Optional
 
-from repro.deployment.network import DeploymentParams
 from repro.experiments import (
     ScenarioConfig,
     report,
-    run_fig1,
     run_fig2,
     run_fig3,
-    run_fig4,
 )
 from repro.obs import ManifestBuilder, Observability, make_observability
 from repro.obs.report import render_report
@@ -149,6 +155,12 @@ def _build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="profile phases and maxflow kernels (wall+CPU) and "
             "print/store a profile section",
+        )
+        p.add_argument(
+            "--dissemination",
+            action="store_true",
+            help="record per-claim dissemination DAGs (propagation "
+            "analytics + fault attribution; never changes results)",
         )
         p.add_argument(
             "--monitor-dir",
@@ -330,6 +342,20 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     add_provenance(pf)
     add_obs(pf)
+    pd = sub.add_parser(
+        "dissemination",
+        help="trace per-claim gossip dissemination under faults "
+        "(propagation DAGs, coverage, fault attribution)",
+    )
+    add_common(pd)
+    pd.add_argument(
+        "--attributions",
+        type=int,
+        default=5,
+        metavar="K",
+        help="how many undelivered claims to attribute to exact "
+        "drop/wipe events (0 = all)",
+    )
     pe = sub.add_parser(
         "explain",
         help="decompose one subjective reputation into paths and claim lineage",
@@ -460,12 +486,12 @@ def _fig1(
     runner=None,
 ) -> None:
     with manifest.phase("fig1"):
-        if runner is not None:
-            from repro.parallel import fig1_task, run_sweep
+        # Inline runs take the same task path as --jobs N so per-run
+        # telemetry labels (timeseries/dissemination exports) match
+        # across job levels.
+        from repro.parallel import fig1_task, run_sweep
 
-            result = run_sweep([fig1_task(scenario)], runner=runner)[0]
-        else:
-            result = run_fig1(scenario, obs=obs)
+        result = run_sweep([fig1_task(scenario)], runner=runner, obs=obs)[0]
     print(report.report_fig1(result))
     from repro.analysis.export import export_fig1
 
@@ -518,12 +544,10 @@ def _fig4(
     runner=None,
 ) -> None:
     with manifest.phase("fig4"):
-        if runner is not None:
-            from repro.parallel import fig4_task, run_sweep
+        # Same task path inline as under --jobs N (see _fig1).
+        from repro.parallel import fig4_task, run_sweep
 
-            result = run_sweep([fig4_task(peers, seed)], runner=runner)[0]
-        else:
-            result = run_fig4(DeploymentParams(num_peers=peers), seed=seed, obs=obs)
+        result = run_sweep([fig4_task(peers, seed)], runner=runner, obs=obs)[0]
     print(report.report_fig4(result))
     from repro.analysis.export import export_fig4
 
@@ -664,6 +688,18 @@ def _explain(
             explanations.append((expl, verdicts))
     if sim.provenance is not None:
         manifest.note("provenance_recorder", sim.provenance.summary())
+    if sim.dissemination is not None:
+        # Why is an evidence edge missing from this peer's subjective
+        # view?  Attribute every claim that never reached --peer to the
+        # exact drop/wipe events that cut its candidate paths.
+        from repro.obs.dissemination import render_attribution
+
+        missing = sim.dissemination.explain_missing(receiver=args.peer)
+        if missing:
+            print(f"-- missing evidence at peer {args.peer} --")
+            for entry in missing:
+                print(render_attribution(entry))
+            print()
     if args.export is not None:
 
         def _doc(expl, verdicts):
@@ -681,6 +717,76 @@ def _explain(
         path.parent.mkdir(parents=True, exist_ok=True)
         path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
         print(f"[wrote {path}]")
+    return 0
+
+
+def _dissemination(
+    scenario: ScenarioConfig,
+    args: argparse.Namespace,
+    export_dir=None,
+    obs: Optional[Observability] = None,
+    manifest: Optional[ManifestBuilder] = None,
+) -> int:
+    """``repro dissemination``: run one (typically faulted) scenario with
+    dissemination recording forced on, print propagation analytics, and
+    attribute undelivered claims to the exact drop/wipe events that cut
+    their candidate paths."""
+    from repro.analysis.ascii_plot import render_table
+    from repro.experiments.scenario import build_simulation
+    from repro.obs.dissemination import render_attribution
+    from repro.obs.report import render_dissemination
+
+    # Stable single-run label (exports become e.g. dissemination_run.csv).
+    if obs.timeseries.enabled:
+        obs.timeseries.begin_task("run")
+    if obs.dissemination.enabled:
+        obs.dissemination.begin_task("run")
+    with manifest.phase("simulate"):
+        sim = build_simulation(scenario, obs=obs)
+        sim.run()
+    rec = sim.dissemination
+    if rec is None:
+        print("error: dissemination recorder was not attached", file=sys.stderr)
+        return 2
+    print(render_dissemination(obs.dissemination.summary()))
+    print()
+    stats = rec.claim_stats()
+    if stats:
+        fracs = rec.config.coverage_fractions
+        frac_cols = [f"t{int(round(f * 100))}%" for f in fracs]
+        rows = []
+        for entry in stats[:12]:
+            row = [
+                f"{entry['claim'][0]}->{entry['claim'][1]}",
+                f"{entry['reached']}/{entry['eligible']}",
+                entry["copies"],
+                f"{entry['redundancy']:.2f}",
+            ]
+            for frac in fracs:
+                t = entry.get(f"t{int(round(frac * 100))}")
+                row.append("-" if t is None else f"{t:.0f}")
+            rows.append(tuple(row))
+        print("-- per-claim propagation (first 12 claims) --")
+        print(
+            render_table(
+                ["claim", "reached", "copies", "redund"] + frac_cols,
+                rows,
+                "{}",
+            )
+        )
+        if len(stats) > 12:
+            print(f"({len(stats) - 12} more claims in the exported CSV/JSON)")
+        print()
+    missing = rec.explain_missing()
+    if missing:
+        limit = args.attributions if args.attributions > 0 else len(missing)
+        print("-- fault attribution (undelivered claims) --")
+        for entry in missing[:limit]:
+            print(render_attribution(entry))
+        if len(missing) > limit:
+            print(f"({len(missing) - limit} more in the exported JSON)")
+    else:
+        print("every gossiped claim reached every eligible peer")
     return 0
 
 
@@ -896,6 +1002,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         seed=getattr(args, "seed", 0),
         profile=getattr(args, "prof", False),
         timeseries=getattr(args, "timeseries", None),
+        # The dissemination subcommand IS the recording run; force it on.
+        dissemination=getattr(args, "dissemination", False)
+        or args.command == "dissemination",
     )
     manifest = ManifestBuilder(
         command=args.command,
@@ -949,6 +1058,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                         manifest.set_faults(fault_cfg)
                 if args.command == "explain":
                     exit_code = _explain(scenario, args, obs, manifest)
+                elif args.command == "dissemination":
+                    exit_code = _dissemination(
+                        scenario, args, export_dir, obs, manifest
+                    )
                 elif args.command == "faults":
                     _faults(scenario, args, export_dir, obs, manifest, runner)
                 elif args.command == "fig1":
@@ -988,6 +1101,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     if obs.timeseries.enabled:
         manifest.note("timeseries", obs.timeseries.summary())
+    if obs.dissemination.enabled:
+        manifest.note("dissemination", obs.dissemination.summary())
     if obs.profiler.enabled:
         manifest.note("profile", obs.profiler.summary())
     if obs.metrics.enabled:
@@ -1005,6 +1120,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         out_dir = path.parent
         for ts_path in obs.timeseries.export(out_dir):
             print(f"[wrote {ts_path}]")
+        for d_path in obs.dissemination.export(out_dir):
+            print(f"[wrote {d_path}]")
         if obs.profiler.enabled and obs.profiler.spans:
             from repro.obs.chrome_trace import write_chrome_trace
 

@@ -24,7 +24,7 @@ __all__ = ["HistoryRecord", "BarterCastMessage", "select_records"]
 PeerId = Hashable
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class HistoryRecord:
     """One private-history entry as carried in a message.
 
@@ -54,7 +54,7 @@ class HistoryRecord:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BarterCastMessage:
     """A BarterCast gossip message.
 
@@ -68,17 +68,30 @@ class BarterCastMessage:
     records:
         The selected history records.
     msg_id:
-        Optional message identity for provenance.  ``None`` unless the
-        sender stamps one (:meth:`~repro.core.node.BarterCastNode.
-        create_message` uses ``(sender, sequence)`` when provenance is
-        on); receivers treat it as opaque and never use it for
-        supersede decisions — only lineage records carry it.
+        Message identity shared by provenance and dissemination tracing.
+        ``None`` until the sender stamps one
+        (:meth:`~repro.core.node.BarterCastNode.create_message` always
+        uses ``(sender, sequence)``); receivers treat it as opaque and
+        never use it for supersede decisions — only lineage records and
+        dissemination DAGs carry it.
+    parent_id:
+        Causal envelope: the ``msg_id`` of the sender's previous message
+        (``None`` for the sender's first message).  Chains a sender's
+        messages into a per-origin causal spine; receivers ignore it.
+    hops:
+        Causal envelope: how many gossip hops the carried claims have
+        travelled.  BarterCast never forwards received claims, so every
+        message on the wire is firsthand (``hops == 1``); the field
+        exists so forwarding overlays (and the planned daemon) share the
+        same envelope.  Receivers ignore it for supersede decisions.
     """
 
     sender: PeerId
     created_at: float
     records: tuple = field(default_factory=tuple)
     msg_id: Hashable = None
+    parent_id: Hashable = None
+    hops: int = 1
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "records", tuple(self.records))

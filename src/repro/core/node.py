@@ -34,7 +34,7 @@ instrument every lookup.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Dict, Hashable, Iterable, List, Optional, Tuple
 
 import numpy as np
@@ -204,6 +204,9 @@ class BarterCastNode:
         self.rep_cache_invalidations = 0
         self.messages_sent = 0
         self.messages_received = 0
+        # Causal envelope state: the msg_id of this node's previous
+        # outgoing message, chained into parent_id (DESIGN.md §16).
+        self._last_msg_id: Optional[Hashable] = None
         # Hoisted out of the edge listener, which runs on every effective
         # graph write: whether the configured kernel admits exact dirty-set
         # invalidation.  The kernel is fixed at construction time.
@@ -261,19 +264,34 @@ class BarterCastNode:
         msg = self.behavior.make_message(self, now)
         if msg is not None:
             self.messages_sent += 1
-            if self._prov_on and msg.msg_id is None:
-                # Stamp a message identity for lineage records.  The id is
-                # a per-sender sequence number — deterministic, no RNG —
-                # and receivers never consult it for supersede decisions,
-                # so stamping cannot change simulation behaviour.
-                msg = replace(msg, msg_id=(self.peer_id, self.messages_sent))
+            if msg.msg_id is None:
+                # Stamp the causal envelope: a per-sender sequence id plus
+                # the previous message's id as parent.  Deterministic, no
+                # RNG, and receivers never consult either field for
+                # supersede decisions, so stamping cannot change
+                # simulation behaviour.  Provenance lineage and
+                # dissemination DAGs share this one identity scheme.
+                # In-place write on the frozen dataclass: the behavior
+                # built this instance one call up and nothing else holds
+                # a reference yet, and ``replace()`` would re-tuple the
+                # records — a measurable per-message cost on a field
+                # stamped for every message of every run.
+                object.__setattr__(
+                    msg, "msg_id", (self.peer_id, self.messages_sent)
+                )
+                object.__setattr__(msg, "parent_id", self._last_msg_id)
+            self._last_msg_id = msg.msg_id
             if self._m_sent is not None:
                 self._m_sent.inc()
             if self._tr_msg is not None and self._tr_msg.sample():
                 self._tr_msg.emit_sampled(
                     "send",
                     sim_time=now,
-                    attrs={"sender": self.peer_id, "records": msg.num_records},
+                    attrs={
+                        "sender": self.peer_id,
+                        "records": msg.num_records,
+                        "msg_id": msg.msg_id,
+                    },
                 )
         return msg
 
@@ -303,6 +321,7 @@ class BarterCastNode:
                     "sender": message.sender,
                     "records": message.num_records,
                     "applied": applied,
+                    "msg_id": message.msg_id,
                 },
             )
         return applied

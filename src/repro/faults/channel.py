@@ -154,9 +154,11 @@ class ChannelModel:
         consume any other stream.
     obs:
         Observability bundle.  When metrics are enabled the channel
-        counts ``net.dropped`` / ``net.duplicated`` / ``net.delayed``
-        (plus ``net.delivered``), and when tracing is enabled it emits
-        sampled ``net.deliver`` events for every fault decision.
+        counts ``net.dropped`` / ``net.dropped_by_churn`` /
+        ``net.duplicated`` / ``net.delayed`` (plus ``net.delivered``),
+        and when tracing is enabled it emits sampled ``net.deliver``
+        events for every fault decision (delivered events carry per-copy
+        delays; offline events carry the cut copy's index and delay).
     """
 
     def __init__(
@@ -172,11 +174,13 @@ class ChannelModel:
         metrics = obs.metrics
         if metrics.enabled:
             self._m_dropped = metrics.counter("net.dropped")
+            self._m_dropped_churn = metrics.counter("net.dropped_by_churn")
             self._m_duplicated = metrics.counter("net.duplicated")
             self._m_delayed = metrics.counter("net.delayed")
             self._m_delivered = metrics.counter("net.delivered")
         else:
             self._m_dropped = None
+            self._m_dropped_churn = None
             self._m_duplicated = None
             self._m_delayed = None
             self._m_delivered = None
@@ -186,9 +190,17 @@ class ChannelModel:
         #: Telemetry mirrors of the obs counters (always maintained, so
         #: experiments can read fault activity without a live registry).
         self.dropped = 0
+        #: Copies that surfaced while the receiver was churned down —
+        #: counted inside ``dropped`` too, but kept distinct so churn
+        #: damage is separable from channel loss.
+        self.dropped_by_churn = 0
         self.duplicated = 0
         self.delayed = 0
         self.delivered = 0
+        #: Verdict of the most recent fault decision (``unconnectable`` /
+        #: ``dropped`` / ``delivered`` / ``offline``); lets the host
+        #: simulator attribute an empty plan without re-deriving it.
+        self.last_verdict: Optional[str] = None
 
     # ------------------------------------------------------------------
     def is_connectable(self, peer: PeerId) -> bool:
@@ -263,30 +275,67 @@ class ChannelModel:
         self.delivered += copies
         if self._m_delivered is not None:
             self._m_delivered.inc(copies)
-        self._trace("delivered", src, dst, now, copies)
+        self._trace("delivered", src, dst, now, copies, times=times)
         return times
 
-    def note_undeliverable(self, src: PeerId, dst: PeerId, now: float) -> None:
+    def note_undeliverable(
+        self,
+        src: PeerId,
+        dst: PeerId,
+        now: float,
+        copy: int = 0,
+        delay: float = 0.0,
+        by_churn: bool = False,
+    ) -> None:
         """Account a copy that arrived while the receiver was offline.
 
         Called by the host simulator from the terminal delivery seam (a
         delayed copy surfacing after its receiver left); consumes no
-        randomness.
+        randomness.  ``copy`` and ``delay`` identify which duplicate was
+        cut and how far it had been deferred, so DAG reconstruction never
+        has to guess; ``by_churn`` marks receivers that are down because
+        of a churn outage (counted in ``net.dropped_by_churn``, distinct
+        from channel loss).
         """
         self.dropped += 1
         if self._m_dropped is not None:
             self._m_dropped.inc()
-        self._trace("offline", src, dst, now, 0)
+        if by_churn:
+            self.dropped_by_churn += 1
+            if self._m_dropped_churn is not None:
+                self._m_dropped_churn.inc()
+        self._trace(
+            "offline",
+            src,
+            dst,
+            now,
+            0,
+            extra={"copy": copy, "delay": delay, "by_churn": by_churn},
+        )
 
     # ------------------------------------------------------------------
-    def _trace(self, verdict: str, src: PeerId, dst: PeerId, now: float, copies: int) -> None:
+    def _trace(
+        self,
+        verdict: str,
+        src: PeerId,
+        dst: PeerId,
+        now: float,
+        copies: int,
+        times: Optional[List[float]] = None,
+        extra: Optional[dict] = None,
+    ) -> None:
+        self.last_verdict = verdict
         cat = self._tr_deliver
         if cat is not None and cat.sample():
-            cat.emit_sampled(
-                verdict,
-                sim_time=now,
-                attrs={"src": src, "dst": dst, "copies": copies},
-            )
+            attrs = {"src": src, "dst": dst, "copies": copies}
+            if times is not None:
+                # Per-copy delivery delays, indexed by duplication-copy
+                # number — the delayed/dropped branches of the delivery
+                # seam reference these copies.
+                attrs["delays"] = [t - now for t in times]
+            if extra:
+                attrs.update(extra)
+            cat.emit_sampled(verdict, sim_time=now, attrs=attrs)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -48,6 +48,15 @@ from repro.obs.metrics import (
     NullMetricsRegistry,
     Timer,
 )
+from repro.obs.dissemination import (
+    DISSEMINATION_SCHEMA,
+    NULL_DISSEMINATION,
+    DisseminationCollector,
+    DisseminationConfig,
+    DisseminationRecorder,
+    NullDisseminationCollector,
+    render_attribution,
+)
 from repro.obs.provenance import (
     NULL_PROVENANCE,
     ClaimLineage,
@@ -120,6 +129,13 @@ __all__ = [
     "NullTimeSeriesCollector",
     "NULL_TIMESERIES",
     "TIMESERIES_SCHEMA",
+    "DisseminationCollector",
+    "DisseminationConfig",
+    "DisseminationRecorder",
+    "NullDisseminationCollector",
+    "NULL_DISSEMINATION",
+    "DISSEMINATION_SCHEMA",
+    "render_attribution",
 ]
 
 
@@ -131,6 +147,9 @@ class Observability:
     tracer: TraceEmitter = field(default_factory=lambda: NULL_TRACER)
     timeseries: TimeSeriesCollector = field(default_factory=lambda: NULL_TIMESERIES)
     profiler: Profiler = field(default_factory=lambda: NULL_PROFILER)
+    dissemination: DisseminationCollector = field(
+        default_factory=lambda: NULL_DISSEMINATION
+    )
 
     @property
     def enabled(self) -> bool:
@@ -148,7 +167,9 @@ class Observability:
 
 
 #: The shared disabled bundle — the default for every constructor.
-NULL_OBS = Observability(NULL_METRICS, NULL_TRACER, NULL_TIMESERIES, NULL_PROFILER)
+NULL_OBS = Observability(
+    NULL_METRICS, NULL_TRACER, NULL_TIMESERIES, NULL_PROFILER, NULL_DISSEMINATION
+)
 
 
 def make_observability(
@@ -158,6 +179,7 @@ def make_observability(
     seed: int = 0,
     profile: bool = False,
     timeseries: Union[TimeSeriesConfig, float, None] = None,
+    dissemination: Union[DisseminationConfig, bool, None] = None,
 ) -> Observability:
     """Construct the bundle the CLI flags describe.
 
@@ -179,8 +201,18 @@ def make_observability(
         Enable convergence time-series recording (``--timeseries``):
         a :class:`TimeSeriesConfig`, or a sim-time cadence in seconds
         (values ``<= 0`` mean "use the scenario's sample interval").
+    dissemination:
+        Enable causal dissemination recording (``--dissemination``):
+        a :class:`DisseminationConfig`, or any truthy value for the
+        default config.
     """
-    if not metrics and trace_path is None and not profile and timeseries is None:
+    if (
+        not metrics
+        and trace_path is None
+        and not profile
+        and timeseries is None
+        and not dissemination
+    ):
         return NULL_OBS
     registry: MetricsRegistry = MetricsRegistry() if metrics else NULL_METRICS
     tracer: TraceEmitter = NULL_TRACER
@@ -203,11 +235,18 @@ def make_observability(
         collector = TimeSeriesCollector(
             TimeSeriesConfig(interval_s=interval if interval > 0 else None)
         )
+    if not dissemination:
+        diss: DisseminationCollector = NULL_DISSEMINATION
+    elif isinstance(dissemination, DisseminationConfig):
+        diss = DisseminationCollector(dissemination)
+    else:
+        diss = DisseminationCollector()
     return Observability(
         metrics=registry,
         tracer=tracer,
         timeseries=collector,
         profiler=Profiler() if profile else NULL_PROFILER,
+        dissemination=diss,
     )
 
 

@@ -44,6 +44,13 @@ def trace_to_chrome_events(header: dict, events: Iterable[dict]) -> List[dict]:
     is ``wall - dur``; the rest become instant (``"i"``) events at
     ``wall``.  Each trace category gets its own thread row, named via
     metadata events.
+
+    ``bc.message`` send/receive records that share a stamped ``msg_id``
+    additionally get a flow arrow (``"s"``/``"f"`` pair) linking the
+    send to each delivery — the cross-peer dissemination view.  Arrows
+    are emitted only for *matched* pairs, so sampling (which can keep a
+    send but drop its receive, or vice versa) never produces dangling
+    flow ids.
     """
     out: List[dict] = [
         {
@@ -55,6 +62,8 @@ def trace_to_chrome_events(header: dict, events: Iterable[dict]) -> List[dict]:
         }
     ]
     tids: Dict[str, int] = {}
+    sends: Dict[str, dict] = {}
+    receives: Dict[str, List[dict]] = {}
     for event in events:
         cat = str(event.get("cat", "trace"))
         tid = tids.get(cat)
@@ -87,6 +96,45 @@ def trace_to_chrome_events(header: dict, events: Iterable[dict]) -> List[dict]:
         else:
             record.update(ph="i", ts=wall_us, s="t")
         out.append(record)
+        if cat == "bc.message":
+            msg_id = args.get("msg_id")
+            if msg_id is not None:
+                key = json.dumps(msg_id)
+                name = record["name"]
+                if name == "send":
+                    sends.setdefault(key, record)
+                elif name == "receive":
+                    receives.setdefault(key, []).append(record)
+    flow_id = 0
+    for key in sorted(sends):
+        send = sends[key]
+        for recv in receives.get(key, ()):
+            flow_id += 1
+            start_ts = send["ts"]
+            end_ts = max(recv["ts"], start_ts)
+            out.append(
+                {
+                    "ph": "s",
+                    "id": flow_id,
+                    "name": "bc.msg",
+                    "cat": "bc.message",
+                    "pid": TRACE_PID,
+                    "tid": send["tid"],
+                    "ts": start_ts,
+                }
+            )
+            out.append(
+                {
+                    "ph": "f",
+                    "id": flow_id,
+                    "bp": "e",
+                    "name": "bc.msg",
+                    "cat": "bc.message",
+                    "pid": TRACE_PID,
+                    "tid": recv["tid"],
+                    "ts": end_ts,
+                }
+            )
     return out
 
 

@@ -22,6 +22,7 @@ from repro.analysis.ascii_plot import render_table
 from repro.obs.metrics import MetricsRegistry
 
 __all__ = [
+    "render_dissemination",
     "render_manifest_report",
     "render_metrics_snapshot",
     "render_profile",
@@ -121,7 +122,13 @@ def render_metrics_snapshot(
 
     net_rows = [
         (label, _value(snap, f"net.{label}"))
-        for label in ("delivered", "dropped", "duplicated", "delayed")
+        for label in (
+            "delivered",
+            "dropped",
+            "dropped_by_churn",
+            "duplicated",
+            "delayed",
+        )
     ]
     if any(value for _, value in net_rows):
         lines.append("-- network (fault channel) --")
@@ -281,6 +288,48 @@ def _render_timeseries_summary(ts: dict) -> str:
     return "\n".join(lines)
 
 
+def render_dissemination(summary: dict) -> str:
+    """Render a :meth:`~repro.obs.dissemination.DisseminationCollector
+    .summary` dict (live or from a stored manifest)."""
+    lines = ["== Dissemination =="]
+    runs = summary.get("runs") or []
+    rows = []
+    for run in runs:
+        events = run.get("events") or {}
+        redundancy = run.get("redundancy_factor")
+        rows.append(
+            (
+                run.get("label", "?"),
+                run.get("messages", 0),
+                f"{run.get('claims_reached', 0)}/{run.get('claims', 0)}",
+                events.get("deliver", 0),
+                events.get("drop", 0),
+                events.get("wipe", 0),
+                f"{redundancy:.2f}" if redundancy is not None else "-",
+            )
+        )
+    if rows:
+        lines.append(
+            render_table(
+                ["run", "msgs", "claims", "delivered", "dropped", "wipes", "redund"],
+                rows,
+                "{}",
+            )
+        )
+        hops: Dict[str, int] = {}
+        for run in runs:
+            for hop, count in (run.get("hop_histogram") or {}).items():
+                hops[hop] = hops.get(hop, 0) + count
+        if hops:
+            lines.append(
+                "hop counts: "
+                + ", ".join(f"{h} hop(s): {n:,}" for h, n in sorted(hops.items()))
+            )
+    else:
+        lines.append("(no dissemination recorded)")
+    return "\n".join(lines)
+
+
 def render_manifest_report(doc: dict) -> str:
     """Render a stored ``run_manifest.json`` document (``repro report``).
 
@@ -341,6 +390,10 @@ def render_manifest_report(doc: dict) -> str:
     if ts:
         lines.append("")
         lines.append(_render_timeseries_summary(ts))
+    diss = extra.get("dissemination")
+    if diss:
+        lines.append("")
+        lines.append(render_dissemination(diss))
     parallel = extra.get("parallel")
     if parallel and isinstance(parallel, dict):
         lines.append(

@@ -86,6 +86,7 @@ def _worker_run(
     ts_config=None,
     with_profile: bool = False,
     heartbeat_dir: Optional[str] = None,
+    diss_config=None,
 ) -> TaskResult:
     """Module-level worker entry point (must be picklable by the pool)."""
     if heartbeat_dir is not None:
@@ -95,6 +96,7 @@ def _worker_run(
         collect_metrics=with_metrics,
         timeseries=ts_config,
         collect_profile=with_profile,
+        dissemination=diss_config,
     )
     if heartbeat_dir is not None:
         write_worker_heartbeat(heartbeat_dir, task.task_id, "done")
@@ -220,6 +222,11 @@ class ParallelRunner:
             self.obs.timeseries.config if self.obs.timeseries.enabled else None
         )
         with_profile = self.obs.profiler.enabled
+        diss_config = (
+            self.obs.dissemination.config
+            if self.obs.dissemination.enabled
+            else None
+        )
         heartbeat_dir = str(resolve_monitor_dir(self.monitor_dir))
         monitor = SweepMonitorWriter(heartbeat_dir)
         monitor.start(total=len(tasks), jobs=self.jobs)
@@ -254,6 +261,7 @@ class ParallelRunner:
                         ts_config,
                         with_profile,
                         heartbeat_dir,
+                        diss_config,
                     )
                     inflight[fut] = _Inflight(index, task, attempt, time.monotonic())
                 wait_timeout = None if self.timeout_s is None else _POLL_S
@@ -319,6 +327,8 @@ class ParallelRunner:
                 self.obs.timeseries.merge(result.timeseries)
             if with_profile and result.profile:
                 self.obs.profiler.merge_snapshot(result.profile)
+            if diss_config is not None and result.dissemination:
+                self.obs.dissemination.merge(result.dissemination)
         monitor.finish("done")
         self._set_info({
             "mode": "pool",

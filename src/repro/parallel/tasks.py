@@ -108,6 +108,10 @@ class TaskResult:
     timeseries: Optional[List[dict]] = None
     #: Worker profiler snapshot (phases/events/kernels), when profiling.
     profile: Optional[Dict[str, Any]] = None
+    #: Dissemination snapshots (``DisseminationRecorder.to_dict`` dicts)
+    #: recorded by this task's simulations, when the worker ran with a
+    #: dissemination config.
+    dissemination: Optional[List[dict]] = None
 
 
 # ----------------------------------------------------------------------
@@ -228,24 +232,34 @@ def execute_task(
     collect_metrics: bool = False,
     timeseries=None,
     collect_profile: bool = False,
+    dissemination=None,
 ) -> TaskResult:
     """Execute one task in this process and wrap the payload.
 
-    The ``collect_*``/``timeseries`` knobs form the worker path: when any
-    is set, the task runs against a fresh local bundle (a new registry /
-    profiler / timeseries collector mirroring the parent's enabled legs)
-    and ships the snapshots home with the result, to be merged in task
-    order.  Otherwise the provided ``obs`` (e.g. the parent's own bundle,
-    on the inline path) is threaded straight through.  ``timeseries`` is
-    the parent's :class:`~repro.obs.timeseries.TimeSeriesConfig` (or
-    ``None`` for off).
+    The ``collect_*``/``timeseries``/``dissemination`` knobs form the
+    worker path: when any is set, the task runs against a fresh local
+    bundle (a new registry / profiler / collector mirroring the parent's
+    enabled legs) and ships the snapshots home with the result, to be
+    merged in task order.  Otherwise the provided ``obs`` (e.g. the
+    parent's own bundle, on the inline path) is threaded straight
+    through.  ``timeseries`` is the parent's :class:`~repro.obs
+    .timeseries.TimeSeriesConfig` and ``dissemination`` the parent's
+    :class:`~repro.obs.dissemination.DisseminationConfig` (``None`` for
+    off).
     """
-    collect = collect_metrics or timeseries is not None or collect_profile
+    collect = (
+        collect_metrics
+        or timeseries is not None
+        or collect_profile
+        or dissemination is not None
+    )
     if collect:
         from repro.obs import (
+            NULL_DISSEMINATION,
             NULL_METRICS,
             NULL_PROFILER,
             NULL_TIMESERIES,
+            DisseminationCollector,
             MetricsRegistry,
             Profiler,
             TimeSeriesCollector,
@@ -259,11 +273,18 @@ def execute_task(
                 else NULL_TIMESERIES
             ),
             profiler=Profiler() if collect_profile else NULL_PROFILER,
+            dissemination=(
+                DisseminationCollector(dissemination)
+                if dissemination is not None
+                else NULL_DISSEMINATION
+            ),
         )
     elif obs is None:
         obs = NULL_OBS
     if obs.timeseries.enabled:
         obs.timeseries.begin_task(task.task_id)
+    if obs.dissemination.enabled:
+        obs.dissemination.begin_task(task.task_id)
     executor = EXECUTORS.get(task.experiment)
     if executor is None:
         raise KeyError(f"no executor registered for experiment {task.experiment!r}")
@@ -291,6 +312,11 @@ def execute_task(
         attempt=task.attempt,
         timeseries=obs.timeseries.series() if collect and obs.timeseries.enabled else None,
         profile=obs.profiler.snapshot() if collect and obs.profiler.enabled else None,
+        dissemination=(
+            obs.dissemination.series()
+            if collect and obs.dissemination.enabled
+            else None
+        ),
     )
 
 

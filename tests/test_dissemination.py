@@ -1,0 +1,426 @@
+"""Tests for causal dissemination tracing.
+
+Covers the always-on message envelope (msg_id / parent_id / hops), the
+recorder's DAG and analytics queries, the lineage-replay auditor
+(replayed claims must match ``SubjectiveSharedHistory`` exactly), fault
+attribution, the collector's merge/export plumbing (``--jobs 2`` bytes
+equal serial), Chrome-trace flow arrows, the fault channel's
+churn-versus-loss accounting, and the headline guarantee: recording on
+is bit-identical to a plain run.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.messages import BarterCastMessage, HistoryRecord
+from repro.core.policies import RankPolicy
+from repro.experiments import ScenarioConfig, run_fig1
+from repro.experiments.scenario import build_simulation
+from repro.faults import ChannelModel, FaultConfig
+from repro.obs import (
+    NULL_DISSEMINATION,
+    NULL_OBS,
+    DisseminationCollector,
+    DisseminationConfig,
+    DisseminationRecorder,
+    make_observability,
+)
+from repro.obs.chrome_trace import trace_to_chrome_events
+from repro.obs.dissemination import DISSEMINATION_FILENAME, render_attribution
+from repro.obs.trace import read_trace
+from repro.sim.rng import RngRegistry
+
+FAULTS = FaultConfig(loss=0.2, duplicate=0.2, delay_max=7200.0, churn_rate=4.0)
+
+
+@pytest.fixture(scope="module")
+def faulted_run():
+    """One recorded faulted run shared by the analytics/auditor tests."""
+    scenario = ScenarioConfig.tiny(seed=7).with_faults(FAULTS)
+    obs = make_observability(metrics=True, dissemination=True)
+    sim = build_simulation(scenario, policy=RankPolicy(), obs=obs)
+    sim.run()
+    return sim, obs
+
+
+def _msg(sender, created_at, records, msg_id=None, parent_id=None):
+    return BarterCastMessage(
+        sender=sender,
+        created_at=created_at,
+        records=tuple(records),
+        msg_id=msg_id,
+        parent_id=parent_id,
+    )
+
+
+class TestRecorderSynthetic:
+    """Hand-built event logs with known DAGs and analytics answers."""
+
+    def _recorder(self):
+        rec = DisseminationRecorder(label="syn")
+        rec.set_population(["A", "B", "C", "D"])
+        m1 = _msg("A", 0.0, [HistoryRecord("B", 10.0, 5.0)], msg_id=("A", 1))
+        m2 = _msg(
+            "A", 100.0, [HistoryRecord("B", 20.0, 7.0)],
+            msg_id=("A", 2), parent_id=("A", 1),
+        )
+        rec.record_send(m1, "C", 0.0)
+        rec.record_deliver(m1, "C", 10.0)
+        rec.record_send(m1, "D", 0.0)
+        rec.record_drop(m1, "D", 12.0, "loss")
+        rec.record_send(m2, "C", 100.0)
+        rec.record_deliver(m2, "C", 110.0)
+        return rec, m1, m2
+
+    def test_claims_and_dag_spine(self):
+        rec, _, _ = self._recorder()
+        assert rec.claims() == [("A", "B")]
+        dag = rec.claim_dag(("A", "B"))
+        assert dag["messages"] == [("A", 1), ("A", 2)]
+        assert dag["spine"] == [(("A", 1), ("A", 2))]
+        assert [(mid, dst) for mid, dst, _ in dag["deliveries"]] == [
+            (("A", 1), "C"),
+            (("A", 2), "C"),
+        ]
+
+    def test_claim_stats_coverage_milestones(self):
+        rec, _, _ = self._recorder()
+        (entry,) = rec.claim_stats()
+        # Eligible = population minus reporter A and counterparty B.
+        assert entry["eligible"] == 2
+        assert entry["reached"] == 1
+        assert entry["copies"] == 2
+        assert entry["first_t"] == 10.0
+        assert entry["redundancy"] == 2.0
+        assert entry["t50"] == 10.0  # need 1 of 2
+        assert entry["t90"] is None  # need 2 of 2, D never reached
+        assert rec.redundancy_factor() == 2.0
+        assert rec.hop_histogram() == {"1": 2}
+
+    def test_replay_supersedes_by_created_at(self):
+        rec, _, _ = self._recorder()
+        # m2 (created_at 100) supersedes m1 for both directed edges.
+        assert rec.replay_claims("C") == {
+            ("A", "A", "B"): 20.0,
+            ("A", "B", "A"): 7.0,
+        }
+        assert rec.replay_claims("D") == {}
+
+    def test_replay_out_of_order_delivery(self):
+        rec = DisseminationRecorder()
+        rec.set_population(["A", "B", "C"])
+        m1 = _msg("A", 0.0, [HistoryRecord("B", 10.0, 5.0)], msg_id=("A", 1))
+        m2 = _msg("A", 100.0, [HistoryRecord("B", 20.0, 7.0)], msg_id=("A", 2))
+        # The delaying channel reorders: the newer message lands first.
+        rec.record_deliver(m2, "C", 110.0)
+        rec.record_deliver(m1, "C", 120.0)
+        assert rec.replay_claims("C")[("A", "A", "B")] == 20.0
+
+    def test_wipe_erases_and_attribution_reports_it(self):
+        rec, _, m2 = self._recorder()
+        rec.record_wipe("C", 200.0)
+        assert rec.replay_claims("C") == {}
+        entries = rec.explain_missing(receiver="C")
+        (entry,) = entries
+        assert entry["delivered_at"] == [10.0, 110.0]
+        assert entry["wiped_by"] == ["churn-wipe@t=200"]
+        assert "was erased at peer C" in render_attribution(entry)
+
+    def test_attribution_names_exact_drop_events(self):
+        rec, _, _ = self._recorder()
+        entries = rec.explain_missing(receiver="D")
+        (entry,) = entries
+        assert entry["claim"] == ["A", "B"]
+        assert entry["attempts"] == 1
+        assert entry["cut_by"] == ["loss@t=12"]
+        text = render_attribution(entry)
+        assert "never reached peer D" in text
+        assert "loss@t=12" in text
+
+    def test_no_attribution_without_an_attempt(self):
+        rec = DisseminationRecorder()
+        rec.set_population(["A", "B", "C"])
+        m1 = _msg("A", 0.0, [HistoryRecord("B", 1.0, 1.0)], msg_id=("A", 1))
+        rec.record_send(m1, "C", 0.0)
+        rec.record_drop(m1, "C", 0.0, "loss")
+        # C was attempted; pairs the schedule never targeted are silent.
+        assert {e["receiver"] for e in rec.explain_missing()} == {"C"}
+
+    def test_event_counts_split_drop_causes(self):
+        rec, _, m2 = self._recorder()
+        rec.record_drop(m2, "D", 130.0, "churn-offline", copy=1, delay=30.0)
+        counts = rec.event_counts()
+        assert counts["drop"] == 2
+        assert counts["drop.loss"] == 1
+        assert counts["drop.churn-offline"] == 1
+
+    def test_plan_emits_duplicate_and_delay_events(self):
+        rec = DisseminationRecorder()
+        rec.set_population(["A", "B", "C"])
+        m1 = _msg("A", 0.0, [HistoryRecord("B", 1.0, 1.0)], msg_id=("A", 1))
+        rec.record_plan(m1, "C", 10.0, [10.0, 40.0])
+        counts = rec.event_counts()
+        assert counts["duplicate"] == 1
+        assert counts["delay"] == 1  # only the second copy is delayed
+
+
+class TestByteIdentity:
+    def test_recording_off_and_on_are_bit_identical(self):
+        plain = run_fig1(ScenarioConfig.tiny(seed=3))
+        obs = make_observability(dissemination=True)
+        recorded = run_fig1(ScenarioConfig.tiny(seed=3), obs=obs)
+        np.testing.assert_array_equal(
+            plain.sharer_reputation, recorded.sharer_reputation
+        )
+        np.testing.assert_array_equal(
+            plain.freerider_reputation, recorded.freerider_reputation
+        )
+        np.testing.assert_array_equal(
+            plain.net_contribution_gb, recorded.net_contribution_gb
+        )
+        assert plain.spearman == recorded.spearman
+        # ... and the recorder actually saw the run.
+        (snap,) = obs.dissemination.series()
+        assert snap["summary"]["events"]["deliver"] > 0
+
+    def test_faulted_run_identical_with_recording(self):
+        scenario = ScenarioConfig.tiny(seed=7).with_faults(FAULTS)
+        plain = run_fig1(scenario)
+        recorded = run_fig1(scenario, obs=make_observability(dissemination=True))
+        np.testing.assert_array_equal(
+            plain.sharer_reputation, recorded.sharer_reputation
+        )
+        assert plain.spearman == recorded.spearman
+
+
+class TestFaultedRunAnalytics:
+    def test_envelope_invariants(self, faulted_run):
+        sim, _ = faulted_run
+        rec = sim.dissemination
+        for mid in rec.message_ids():
+            env = rec.message(mid)
+            peer, seq = mid
+            assert peer == env["sender"]
+            assert env["hops"] == 1  # BarterCast never forwards
+            if seq == 1:
+                assert env["parent_id"] is None
+            else:
+                assert env["parent_id"] == (peer, seq - 1)
+
+    def test_lineage_replay_matches_shared_history(self, faulted_run):
+        """The auditor cross-check: replaying each peer's deliver/wipe
+        events under the supersede rule reproduces its subjective shared
+        history exactly — both directions (no extra, no missing)."""
+        sim, _ = faulted_run
+        rec = sim.dissemination
+        for peer, node in sim.nodes.items():
+            expected = {}
+            for src, dst in node.shared.known_edges():
+                for reporter in node.shared.reporters():
+                    value = node.shared.claim_of(reporter, src, dst)
+                    if value is not None:
+                        expected[(reporter, src, dst)] = value
+            assert rec.replay_claims(peer) == expected
+
+    def test_fault_attribution_names_exact_events(self, faulted_run):
+        sim, _ = faulted_run
+        rec = sim.dissemination
+        missing = rec.explain_missing()
+        assert missing, "a 20% loss + churn run must leave undelivered claims"
+        attributed = [e for e in missing if e["cut_by"] or e["wiped_by"]]
+        assert attributed
+        entry = attributed[0]
+        for cause in entry["cut_by"]:
+            kind, t = cause.split("@t=")
+            assert kind in ("loss", "unconnectable", "offline", "churn-offline")
+            # The named event exists in the log at exactly that time.
+            claim_mids = rec._claim_messages()[
+                (entry["claim"][0], entry["claim"][1])
+            ]
+            assert any(
+                k == "drop"
+                and mid in claim_mids
+                and dst == entry["receiver"]
+                and f"{et:g}" == t
+                for k, et, mid, _, dst, _ in rec._iter_events()
+            )
+        text = render_attribution(entry)
+        assert str(entry["receiver"]) in text
+
+    def test_churn_drops_counted_separately_from_loss(self, faulted_run):
+        sim, obs = faulted_run
+        assert sim.channel.dropped_by_churn > 0
+        assert (
+            obs.metrics.value("net.dropped_by_churn")
+            == float(sim.channel.dropped_by_churn)
+        )
+        # Churn-cut copies are inside the total, never double-counted.
+        assert sim.channel.dropped_by_churn < sim.channel.dropped
+        counts = sim.dissemination.event_counts()
+        assert counts["drop.churn-offline"] == sim.channel.dropped_by_churn
+
+    def test_summary_and_manifest_digest(self, faulted_run):
+        sim, obs = faulted_run
+        summary = obs.dissemination.summary()
+        assert summary["coverage_fractions"] == [0.5, 0.9]
+        (run,) = summary["runs"]
+        assert run["population"] == len(sim.nodes)
+        assert run["claims_reached"] <= run["claims"]
+        assert run["redundancy_factor"] > 1.0  # duplication was on
+
+
+class TestChannelTelemetry:
+    def _stream(self, seed=7):
+        return RngRegistry(seed).stream("faults.channel")
+
+    def test_last_verdict_tracks_every_outcome(self):
+        ch = ChannelModel(FaultConfig(loss=1.0), self._stream())
+        assert ch.last_verdict is None
+        ch.plan_delivery("a", "b", 5.0)
+        assert ch.last_verdict == "dropped"
+        ch = ChannelModel(FaultConfig(), self._stream())
+        ch.plan_delivery("a", "b", 5.0)
+        assert ch.last_verdict == "delivered"
+        ch.note_undeliverable("a", "b", 6.0)
+        assert ch.last_verdict == "offline"
+
+    def test_offline_trace_carries_copy_delay_churn(self, tmp_path):
+        trace_path = tmp_path / "net.jsonl"
+        obs = make_observability(trace_path=trace_path, seed=1)
+        ch = ChannelModel(
+            FaultConfig(delay_max=10.0), self._stream(), obs=obs
+        )
+        ch.plan_delivery("a", "b", 5.0)
+        ch.note_undeliverable("a", "b", 9.0, copy=2, delay=3.5, by_churn=True)
+        obs.close()
+        _, events = read_trace(trace_path)
+        offline = next(e for e in events if e["name"] == "offline")
+        assert offline["attrs"]["copy"] == 2
+        assert offline["attrs"]["delay"] == 3.5
+        assert offline["attrs"]["by_churn"] is True
+        delivered = next(e for e in events if e["name"] == "delivered")
+        assert len(delivered["attrs"]["delays"]) == delivered["attrs"]["copies"]
+        assert ch.dropped_by_churn == 1
+        assert ch.dropped == 1
+
+
+class TestCollector:
+    def test_labels_and_merge_order(self):
+        col = DisseminationCollector()
+        col.begin_task("task-a")
+        rec = DisseminationRecorder(label=col.next_label())
+        assert rec.label == "task-a"
+        assert col.next_label() == "run-2"  # no pending label -> counter
+        col.attach(rec)
+        col.merge([{"label": "w1", "summary": {}, "claims": [], "undelivered": []}])
+        labels = [s["label"] for s in col.series()]
+        assert labels == ["w1", "task-a"]
+
+    def test_export_writes_csv_and_json(self, tmp_path):
+        col = DisseminationCollector()
+        col.begin_task("fig2/rank")
+        rec = DisseminationRecorder(label=col.next_label(), config=col.config)
+        rec.set_population(["A", "B", "C"])
+        m1 = _msg("A", 0.0, [HistoryRecord("B", 2.0, 1.0)], msg_id=("A", 1))
+        rec.record_send(m1, "C", 0.0)
+        rec.record_deliver(m1, "C", 1.0)
+        col.attach(rec)
+        written = col.export(tmp_path)
+        names = sorted(p.name for p in written)
+        assert names == ["dissemination.json", "dissemination_fig2_rank.csv"]
+        doc = json.loads((tmp_path / DISSEMINATION_FILENAME).read_text())
+        assert doc["series"][0]["label"] == "fig2/rank"
+        header, row = (
+            (tmp_path / "dissemination_fig2_rank.csv").read_text().splitlines()
+        )
+        assert header == "reporter,counterparty,eligible,reached,copies,first_t,t50,t90"
+        assert row == "A,B,1,1,1,1.0,1.0,1.0"
+
+    def test_null_collector_guards(self, tmp_path):
+        assert not NULL_DISSEMINATION.enabled
+        assert NULL_DISSEMINATION.export(tmp_path) == []
+        with pytest.raises(RuntimeError):
+            NULL_DISSEMINATION.attach(DisseminationRecorder())
+
+    def test_bundle_flag_forms(self):
+        assert make_observability() is NULL_OBS
+        on = make_observability(dissemination=True)
+        assert on.dissemination.enabled
+        assert on.dissemination.config.coverage_fractions == (0.5, 0.9)
+        explicit = make_observability(
+            dissemination=DisseminationConfig(coverage_fractions=(0.25,))
+        )
+        assert explicit.dissemination.config.coverage_fractions == (0.25,)
+
+
+class TestParallelParity:
+    def _tasks(self):
+        from repro.parallel import fig1_task
+
+        faults = FaultConfig(loss=0.2, churn_rate=2.0)
+        return [
+            fig1_task(ScenarioConfig.tiny(seed=3).with_faults(faults)),
+            fig1_task(ScenarioConfig.tiny(seed=4).with_faults(faults)),
+        ]
+
+    def _export_bytes(self, jobs, out_dir):
+        from repro.parallel import ParallelRunner
+
+        obs = make_observability(dissemination=True)
+        runner = ParallelRunner(jobs=jobs, obs=obs)
+        runner.run(self._tasks())
+        obs.dissemination.export(out_dir)
+        return (out_dir / DISSEMINATION_FILENAME).read_bytes()
+
+    def test_jobs2_export_bytes_equal_serial(self, tmp_path):
+        serial = self._export_bytes(1, tmp_path / "serial")
+        pooled = self._export_bytes(2, tmp_path / "pooled")
+        assert serial == pooled
+        doc = json.loads(serial.decode("utf-8"))
+        assert len(doc["series"]) == 2
+        assert all(s["summary"]["events"]["deliver"] > 0 for s in doc["series"])
+
+
+class TestChromeFlowArrows:
+    def test_matched_pairs_only(self):
+        records = [
+            {"cat": "bc.message", "name": "send", "wall": 1.0,
+             "attrs": {"msg_id": [1, 1]}},
+            {"cat": "bc.message", "name": "receive", "wall": 1.5,
+             "attrs": {"msg_id": [1, 1]}},
+            {"cat": "bc.message", "name": "receive", "wall": 2.0,
+             "attrs": {"msg_id": [1, 1]}},  # duplicate copy
+            {"cat": "bc.message", "name": "send", "wall": 3.0,
+             "attrs": {"msg_id": [9, 9]}},  # receive sampled away
+            {"cat": "bc.message", "name": "receive", "wall": 4.0,
+             "attrs": {"msg_id": [5, 5]}},  # send sampled away
+        ]
+        events = trace_to_chrome_events({"seed": 1}, records)
+        starts = [e for e in events if e.get("ph") == "s"]
+        finishes = [e for e in events if e.get("ph") == "f"]
+        assert len(starts) == len(finishes) == 2
+        assert sorted(e["id"] for e in starts) == sorted(e["id"] for e in finishes)
+        assert len({e["id"] for e in starts}) == 2
+        by_id = {e["id"]: e for e in starts}
+        for fin in finishes:
+            assert fin["bp"] == "e"
+            assert fin["ts"] >= by_id[fin["id"]]["ts"]
+
+    def test_traced_fig2_round_trip_has_no_dangling_flows(self, tmp_path):
+        from repro import cli
+
+        trace = tmp_path / "run.jsonl"
+        assert cli.main(
+            ["fig2", "--profile", "tiny", "--seed", "5", "--trace", str(trace)]
+        ) == 0
+        assert cli.main(["chrome-trace", str(trace)]) == 0
+        doc = json.loads((tmp_path / "run.chrome.json").read_text())
+        starts = [e for e in doc["traceEvents"] if e.get("ph") == "s"]
+        finishes = [e for e in doc["traceEvents"] if e.get("ph") == "f"]
+        assert starts, "a traced fig2 run must produce flow arrows"
+        s_ids = sorted(e["id"] for e in starts)
+        f_ids = sorted(e["id"] for e in finishes)
+        assert len(set(s_ids)) == len(s_ids)  # one start per flow id
+        assert s_ids == f_ids  # every start finishes, every finish starts
